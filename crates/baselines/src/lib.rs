@@ -1,0 +1,19 @@
+//! Baseline flows the paper compares HIDA against.
+//!
+//! * [`scalehls`] — the ScaleHLS-style flow: dataflow legalization and per-task
+//!   optimization, but no inter-task coupling (no connection awareness), no data-path
+//!   balancing, and no external-memory tiling (all intermediates stay on chip).
+//! * [`vitis`] — the "solely optimized by Vitis HLS" baseline: innermost-loop
+//!   pipelining only, no dataflow, no unrolling.
+//! * [`soff`] — a SOFF-style statically scheduled design with uniform moderate
+//!   parallelization and no dataflow.
+//! * [`dnnbuilder`] — an analytic model of the hand-tuned RTL DNN pipeline used as
+//!   the dedicated-accelerator comparison in Table 8.
+//! * [`manual`] — the LeNet case-study designs of §2: parameterized expert designs
+//!   and the exhaustive-search space of Figure 1.
+
+pub mod dnnbuilder;
+pub mod manual;
+pub mod scalehls;
+pub mod soff;
+pub mod vitis;

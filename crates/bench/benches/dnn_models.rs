@@ -1,0 +1,27 @@
+//! Criterion bench behind Table 8: HIDA compile-and-estimate time for DNN models.
+//! The full Table 8 data is produced by the `table8_dnn` binary; the bench tracks the
+//! compile-time scalability claim (the paper reports ~109 s average with Vitis HLS in
+//! the loop; our flow is estimator-based and therefore much faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hida::{Compiler, Model, Workload};
+
+fn bench_dnn_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_dnn_compile");
+    group.sample_size(10);
+    for model in [Model::LeNet, Model::Mlp, Model::MobileNetV1] {
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, &m| {
+            b.iter(|| {
+                Compiler::dnn_defaults()
+                    .compile(Workload::Model(m))
+                    .unwrap()
+                    .estimate
+                    .dsp_efficiency()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnn_compile);
+criterion_main!(benches);

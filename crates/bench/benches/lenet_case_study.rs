@@ -1,0 +1,29 @@
+//! Criterion bench behind Figure 1 / Table 2: the LeNet case study. Measures the
+//! time to evaluate one manual design point (what the exhaustive search pays per
+//! point) against the time for a full automated HIDA compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hida::baselines::manual::{lenet_design_point, LenetConfig};
+use hida::{Compiler, FpgaDevice, Model, Workload};
+
+fn bench_lenet(c: &mut Criterion) {
+    let device = FpgaDevice::pynq_z2();
+    let mut group = c.benchmark_group("fig1_lenet_case_study");
+    group.sample_size(10);
+    group.bench_function("manual_design_point", |b| {
+        b.iter(|| lenet_design_point(LenetConfig::expert(), &device).unwrap().throughput())
+    });
+    group.bench_function("hida_automated_compile", |b| {
+        b.iter(|| {
+            Compiler::dnn_defaults()
+                .compile(Workload::Model(Model::LeNet))
+                .unwrap()
+                .estimate
+                .throughput()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lenet);
+criterion_main!(benches);

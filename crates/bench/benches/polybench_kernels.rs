@@ -1,0 +1,48 @@
+//! Criterion bench behind Table 7: HIDA compile-and-estimate time per PolyBench
+//! kernel, plus the throughput ratio over the Vitis-only baseline printed once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hida::ir::Context;
+use hida::{Compiler, FpgaDevice, PolybenchKernel, Workload};
+
+fn bench_polybench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_polybench_compile");
+    group.sample_size(10);
+    for kernel in [
+        PolybenchKernel::TwoMm,
+        PolybenchKernel::Atax,
+        PolybenchKernel::Mvt,
+        PolybenchKernel::Gesummv,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
+            b.iter(|| {
+                Compiler::polybench_defaults()
+                    .compile(Workload::PolybenchSized(k, 32))
+                    .unwrap()
+                    .estimate
+                    .throughput()
+            });
+        });
+    }
+    group.finish();
+
+    // One-shot sanity print: HIDA vs Vitis on 2mm (the Table 7 headline comparison).
+    let device = FpgaDevice::zu3eg();
+    let hida = Compiler::polybench_defaults()
+        .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 64))
+        .unwrap();
+    let mut ctx = Context::new();
+    let module = ctx.create_module("vitis");
+    let func =
+        hida::frontend::polybench::build_kernel(&mut ctx, module, PolybenchKernel::TwoMm, 64);
+    let vitis = hida::baselines::vitis::estimate(&mut ctx, func, &device);
+    println!(
+        "2mm: HIDA {:.1} samples/s vs Vitis {:.1} samples/s ({:.1}x)",
+        hida.estimate.throughput(),
+        vitis.throughput(),
+        hida.estimate.speedup_over(&vitis)
+    );
+}
+
+criterion_group!(benches, bench_polybench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figure 10: parallel factor and tile size ablation on ResNet-18.
+//!
+//! Sweeps the maximum parallel factor and the tile size, reporting DSP count, BRAM
+//! count and throughput for every combination. Pass `--full` for the paper's full
+//! sweep (parallel factor 1-256, tile 2-32); the default uses a reduced grid.
+
+use hida::{Compiler, HidaOptions, Model, Workload};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let parallel_factors: Vec<i64> = if full {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+    } else {
+        vec![1, 8, 64, 256]
+    };
+    let tile_sizes: Vec<i64> = if full { vec![2, 4, 8, 16, 32] } else { vec![2, 8, 32] };
+
+    println!("# Figure 10 — ResNet-18 parallel factor x tile size ablation (VU9P SLR)");
+    println!("parallel_factor, tile_size, dsp, bram_18k, throughput_samples_per_s");
+    for &pf in &parallel_factors {
+        for &tile in &tile_sizes {
+            let options = HidaOptions {
+                max_parallel_factor: pf,
+                tile_size: Some(tile),
+                ..HidaOptions::dnn()
+            };
+            let result = Compiler::new(options)
+                .compile(Workload::Model(Model::ResNet18))
+                .expect("resnet compilation");
+            println!(
+                "{pf}, {tile}, {}, {}, {:.3}",
+                result.estimate.resources.dsp,
+                result.estimate.resources.bram_18k,
+                result.estimate.throughput()
+            );
+        }
+    }
+}

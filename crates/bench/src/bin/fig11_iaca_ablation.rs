@@ -1,0 +1,44 @@
+//! Regenerates Figure 11: IA/CA parallelization ablation on ResNet-18.
+//!
+//! For each strategy (IA+CA, IA-only, CA-only, Naive) and each maximum parallel
+//! factor, reports DSP count, BRAM count and throughput. Pass `--full` for the full
+//! factor sweep.
+
+use hida::{Compiler, HidaOptions, Model, ParallelMode, Workload};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let parallel_factors: Vec<i64> = if full {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+    } else {
+        vec![4, 32, 64]
+    };
+    let modes = [
+        ParallelMode::IaCa,
+        ParallelMode::IaOnly,
+        ParallelMode::CaOnly,
+        ParallelMode::Naive,
+    ];
+
+    println!("# Figure 11 — ResNet-18 IA/CA ablation (VU9P SLR)");
+    println!("mode, parallel_factor, dsp, bram_18k, throughput_samples_per_s");
+    for &mode in &modes {
+        for &pf in &parallel_factors {
+            let options = HidaOptions {
+                max_parallel_factor: pf,
+                mode,
+                ..HidaOptions::dnn()
+            };
+            let result = Compiler::new(options)
+                .compile(Workload::Model(Model::ResNet18))
+                .expect("resnet compilation");
+            println!(
+                "{}, {pf}, {}, {}, {:.3}",
+                mode.label(),
+                result.estimate.resources.dsp,
+                result.estimate.resources.bram_18k,
+                result.estimate.throughput()
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Regenerates Tables 4, 5 and 6: connection maps, parallelization results and array
+//! partition results for the Listing 1 running example.
+
+use hida::dialects::transforms;
+use hida::ir::Context;
+use hida::opt::{construct, lower, parallelize, ParallelMode};
+use hida::FpgaDevice;
+
+fn fmt_perm(perm: &[Option<usize>]) -> String {
+    let cells: Vec<String> = perm
+        .iter()
+        .map(|p| p.map(|i| i.to_string()).unwrap_or_else(|| "∅".into()))
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn fmt_scale(scale: &[Option<f64>]) -> String {
+    let cells: Vec<String> = scale
+        .iter()
+        .map(|p| p.map(|s| format!("{s}")).unwrap_or_else(|| "∅".into()))
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn main() {
+    let device = FpgaDevice::pynq_z2();
+
+    // Table 4: connection analysis.
+    let mut ctx = Context::new();
+    let module = ctx.create_module("listing1");
+    let l1 = hida::frontend::listing1::build_listing1(&mut ctx, module);
+    construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
+    let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
+    let connections = parallelize::analyze_connections(&ctx, schedule);
+    println!("# Table 4 — node connections of Listing 1");
+    println!("source -> target | S-to-T perm | T-to-S perm | S-to-T scale | T-to-S scale");
+    for c in &connections {
+        println!(
+            "{} -> {} | {} | {} | {} | {}",
+            c.source.name(&ctx),
+            c.target.name(&ctx),
+            fmt_perm(&c.s_to_t_perm),
+            fmt_perm(&c.t_to_s_perm),
+            fmt_scale(&c.s_to_t_scale),
+            fmt_scale(&c.t_to_s_scale),
+        );
+    }
+
+    // Tables 5 and 6: parallelization and partitioning per mode, max parallel factor 32.
+    for mode in [
+        ParallelMode::IaCa,
+        ParallelMode::IaOnly,
+        ParallelMode::CaOnly,
+        ParallelMode::Naive,
+    ] {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("listing1");
+        let l1 = hida::frontend::listing1::build_listing1(&mut ctx, module);
+        construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
+        let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
+        parallelize::parallelize_schedule(&mut ctx, schedule, 32, mode, &device).unwrap();
+
+        println!("\n# Table 5 ({}) — node parallelization", mode.label());
+        for node in schedule.nodes(&ctx) {
+            let rank = hida::dialects::analysis::profile_body(&ctx, node.id())
+                .loop_dims
+                .len();
+            println!(
+                "{:<10} intensity {:<8} parallel factor {:<4} unroll {:?}",
+                node.name(&ctx),
+                ctx.op(node.id()).attr_int("intensity").unwrap_or(0),
+                ctx.op(node.id()).attr_int("parallel_factor").unwrap_or(0),
+                transforms::unroll_factors_of(&ctx, node.id(), rank),
+            );
+        }
+        println!("# Table 6 ({}) — array partitions", mode.label());
+        for buffer in schedule.internal_buffers(&ctx) {
+            let p = buffer.partition(&ctx);
+            println!(
+                "array {:<6} factors {:?} banks {}",
+                buffer.name(&ctx),
+                p.factors,
+                p.bank_count()
+            );
+        }
+    }
+}

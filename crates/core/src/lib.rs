@@ -1,0 +1,227 @@
+//! # hida — an end-to-end reproduction of the HIDA hierarchical dataflow HLS compiler
+//!
+//! HIDA (ASPLOS 2024) converts algorithmic descriptions — PyTorch models or HLS C++
+//! kernels — into optimized dataflow architectures for FPGAs. This crate ties the
+//! workspace together into one user-facing pipeline:
+//!
+//! ```text
+//! front-end (model zoo / PolyBench)      hida-frontend
+//!   -> Functional dataflow (dispatch/task)    hida-opt::construct, ::fusion
+//!   -> Structural dataflow (schedule/node/buffer)  hida-opt::lower
+//!   -> structural optimization + IA/CA parallelization  hida-opt
+//!   -> QoR estimation (throughput, resources, DSP efficiency)  hida-estimator
+//!   -> HLS C++ emission  hida-emitter
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hida::{Compiler, Workload};
+//!
+//! let result = Compiler::polybench_defaults()
+//!     .compile(Workload::Polybench(hida::PolybenchKernel::TwoMm))
+//!     .expect("compilation succeeds");
+//! assert!(result.hls_cpp.contains("#pragma HLS dataflow"));
+//! assert!(result.estimate.throughput() > 0.0);
+//! ```
+
+pub use hida_baselines as baselines;
+pub use hida_dataflow_ir as dataflow_ir;
+pub use hida_dialects as dialects;
+pub use hida_emitter as emitter;
+pub use hida_estimator as estimator;
+pub use hida_frontend as frontend;
+pub use hida_ir_core as ir;
+pub use hida_opt as opt;
+pub use hida_sim as sim;
+
+pub use hida_estimator::device::FpgaDevice;
+pub use hida_estimator::report::DesignEstimate;
+pub use hida_frontend::nn::Model;
+pub use hida_frontend::polybench::PolybenchKernel;
+pub use hida_opt::{HidaOptions, ParallelMode};
+
+use hida_dataflow_ir::structural::ScheduleOp;
+use hida_estimator::dataflow::DataflowEstimator;
+use hida_ir_core::{Context, IrError, IrResult, OpId};
+use std::time::Instant;
+
+/// A workload accepted by the compiler: a neural network from the model zoo, a
+/// PolyBench kernel, or an IR function the caller built directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// A neural network from the PyTorch-style model zoo.
+    Model(Model),
+    /// A PolyBench kernel with its default problem size.
+    Polybench(PolybenchKernel),
+    /// A PolyBench kernel with an explicit square problem size.
+    PolybenchSized(PolybenchKernel, i64),
+}
+
+impl Workload {
+    /// Human-readable workload name.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Model(m) => m.name().to_string(),
+            Workload::Polybench(k) | Workload::PolybenchSized(k, _) => k.name().to_string(),
+        }
+    }
+}
+
+/// Everything produced by one compilation run.
+#[derive(Debug)]
+pub struct CompilationResult {
+    /// The IR context holding the compiled design.
+    pub ctx: Context,
+    /// The compiled function.
+    pub func: OpId,
+    /// The optimized structural schedule.
+    pub schedule: ScheduleOp,
+    /// The QoR estimate of the dataflow design.
+    pub estimate: DesignEstimate,
+    /// The QoR estimate with dataflow disabled (sequential execution).
+    pub estimate_sequential: DesignEstimate,
+    /// Generated Vitis-HLS-style C++.
+    pub hls_cpp: String,
+    /// Compile time of the HIDA flow itself, in seconds.
+    pub compile_seconds: f64,
+}
+
+/// The end-to-end HIDA compiler.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    options: HidaOptions,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new(HidaOptions::default())
+    }
+}
+
+impl Compiler {
+    /// Creates a compiler with explicit options.
+    pub fn new(options: HidaOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// Compiler tuned for the PolyBench kernels on the ZU3EG device (Table 7 setup).
+    pub fn polybench_defaults() -> Self {
+        Compiler::new(HidaOptions::polybench())
+    }
+
+    /// Compiler tuned for DNN models on one VU9P SLR (Table 8 setup).
+    pub fn dnn_defaults() -> Self {
+        Compiler::new(HidaOptions::dnn())
+    }
+
+    /// Returns the configured options.
+    pub fn options(&self) -> &HidaOptions {
+        &self.options
+    }
+
+    /// Replaces the options (builder style).
+    pub fn with_options(mut self, options: HidaOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Compiles a workload end to end.
+    ///
+    /// # Errors
+    /// Propagates front-end or optimization failures.
+    pub fn compile(&self, workload: Workload) -> IrResult<CompilationResult> {
+        let mut ctx = Context::new();
+        let module = ctx.create_module(&workload.name());
+        let func = match workload {
+            Workload::Model(model) => hida_frontend::nn::build_model(&mut ctx, module, model),
+            Workload::Polybench(kernel) => hida_frontend::polybench::build_kernel(
+                &mut ctx,
+                module,
+                kernel,
+                kernel.default_size(),
+            ),
+            Workload::PolybenchSized(kernel, n) => {
+                hida_frontend::polybench::build_kernel(&mut ctx, module, kernel, n)
+            }
+        };
+        self.compile_func(ctx, module, func)
+    }
+
+    /// Compiles an already-constructed function (advanced use: custom front-ends).
+    ///
+    /// # Errors
+    /// Propagates optimization failures and IR verification errors.
+    pub fn compile_func(
+        &self,
+        mut ctx: Context,
+        module: OpId,
+        func: OpId,
+    ) -> IrResult<CompilationResult> {
+        let start = Instant::now();
+        let optimizer = hida_opt::HidaOptimizer::new(self.options.clone());
+        let schedule = optimizer.run(&mut ctx, func)?;
+        hida_ir_core::verifier::verify(&ctx, module)
+            .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
+        let estimator = DataflowEstimator::new(self.options.device.clone());
+        let estimate = estimator.estimate_schedule(&ctx, schedule, true);
+        let estimate_sequential = estimator.estimate_schedule(&ctx, schedule, false);
+        let hls_cpp = hida_emitter::emit_schedule(&ctx, schedule);
+        let compile_seconds = start.elapsed().as_secs_f64();
+        Ok(CompilationResult {
+            ctx,
+            func,
+            schedule,
+            estimate,
+            estimate_sequential,
+            hls_cpp,
+            compile_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_polybench_compilation_works_end_to_end() {
+        let result = Compiler::polybench_defaults()
+            .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32))
+            .unwrap();
+        assert!(result.estimate.throughput() > 0.0);
+        assert!(result.estimate.throughput() >= result.estimate_sequential.throughput());
+        assert!(result.hls_cpp.contains("#pragma HLS dataflow"));
+        assert!(result.compile_seconds < 60.0);
+        assert_eq!(result.schedule.nodes(&result.ctx).len(), 2);
+    }
+
+    #[test]
+    fn dnn_compilation_produces_a_deep_pipeline() {
+        let result = Compiler::dnn_defaults()
+            .compile(Workload::Model(Model::LeNet))
+            .unwrap();
+        assert!(result.schedule.nodes(&result.ctx).len() >= 3);
+        assert!(result.estimate.macs_per_sample > 100_000);
+        assert!(result.estimate.dsp_efficiency() > 0.0);
+    }
+
+    #[test]
+    fn workload_names_are_stable() {
+        assert_eq!(Workload::Model(Model::ResNet18).name(), "resnet-18");
+        assert_eq!(Workload::Polybench(PolybenchKernel::Atax).name(), "atax");
+        assert_eq!(
+            Workload::PolybenchSized(PolybenchKernel::Mvt, 64).name(),
+            "mvt"
+        );
+    }
+
+    #[test]
+    fn options_builder_round_trips() {
+        let compiler = Compiler::default().with_options(HidaOptions {
+            max_parallel_factor: 128,
+            ..HidaOptions::dnn()
+        });
+        assert_eq!(compiler.options().max_parallel_factor, 128);
+    }
+}

@@ -1,0 +1,141 @@
+//! FPGA device catalogs for the platforms used in the paper's evaluation.
+//!
+//! * AMD PYNQ-Z2 (Zynq-7020) — the LeNet case study platform (§2).
+//! * AMD-Xilinx ZU3EG — the PolyBench C++ kernel platform (§7.1).
+//! * One super logic region (SLR) of an AMD-Xilinx VU9P — the DNN platform (§7.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of an FPGA target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of DSP48 blocks.
+    pub dsp: i64,
+    /// Number of 18 Kb block RAMs.
+    pub bram_18k: i64,
+    /// Number of UltraRAM blocks (0 when the family has none).
+    pub uram: i64,
+    /// Number of LUTs.
+    pub lut: i64,
+    /// Number of flip-flops.
+    pub ff: i64,
+    /// Target clock frequency in MHz (the paper holds 200 MHz for DNNs).
+    pub clock_mhz: f64,
+    /// Round-trip latency of an external (AXI) memory access in cycles.
+    pub axi_latency: i64,
+    /// Sustained external-memory bandwidth in bytes per cycle per port.
+    pub axi_bytes_per_cycle: f64,
+    /// Maximum AXI burst length in beats.
+    pub axi_burst: i64,
+}
+
+impl FpgaDevice {
+    /// AMD PYNQ-Z2 board (Zynq-7020), used for the LeNet case study.
+    pub fn pynq_z2() -> Self {
+        FpgaDevice {
+            name: "pynq-z2".to_string(),
+            dsp: 220,
+            bram_18k: 280,
+            uram: 0,
+            lut: 53_200,
+            ff: 106_400,
+            clock_mhz: 100.0,
+            axi_latency: 80,
+            axi_bytes_per_cycle: 8.0,
+            axi_burst: 256,
+        }
+    }
+
+    /// AMD-Xilinx ZU3EG, used for the PolyBench kernels (Table 7).
+    pub fn zu3eg() -> Self {
+        FpgaDevice {
+            name: "zu3eg".to_string(),
+            dsp: 360,
+            bram_18k: 432,
+            uram: 0,
+            lut: 70_560,
+            ff: 141_120,
+            clock_mhz: 150.0,
+            axi_latency: 80,
+            axi_bytes_per_cycle: 8.0,
+            axi_burst: 256,
+        }
+    }
+
+    /// One super logic region of an AMD-Xilinx VU9P, used for the DNN models
+    /// (Table 8). The paper constrains resources to match DNNBuilder.
+    pub fn vu9p_slr() -> Self {
+        FpgaDevice {
+            name: "vu9p-slr".to_string(),
+            dsp: 2_280,
+            bram_18k: 1_440,
+            uram: 320,
+            lut: 394_000,
+            ff: 788_000,
+            clock_mhz: 200.0,
+            axi_latency: 120,
+            axi_bytes_per_cycle: 32.0,
+            axi_burst: 256,
+        }
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_period_ns(&self) -> f64 {
+        1_000.0 / self.clock_mhz
+    }
+
+    /// Converts a cycle count into seconds at this device's clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_mhz * 1.0e6)
+    }
+
+    /// Total on-chip memory capacity in bits (BRAM + URAM).
+    pub fn on_chip_bits(&self) -> i64 {
+        self.bram_18k * 18 * 1024 + self.uram * 288 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_catalog_sizes_are_ordered() {
+        let pynq = FpgaDevice::pynq_z2();
+        let zu3 = FpgaDevice::zu3eg();
+        let vu9p = FpgaDevice::vu9p_slr();
+        assert!(pynq.dsp < zu3.dsp);
+        assert!(zu3.dsp < vu9p.dsp);
+        assert!(pynq.bram_18k < vu9p.bram_18k);
+        assert!(vu9p.uram > 0);
+        assert_eq!(pynq.uram, 0);
+    }
+
+    #[test]
+    fn clock_conversions() {
+        let vu9p = FpgaDevice::vu9p_slr();
+        assert!((vu9p.clock_period_ns() - 5.0).abs() < 1e-9);
+        // 200 MHz: 2e8 cycles per second.
+        assert!((vu9p.cycles_to_seconds(2.0e8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_chip_capacity_includes_uram() {
+        let zu3 = FpgaDevice::zu3eg();
+        assert_eq!(zu3.on_chip_bits(), 432 * 18 * 1024);
+        let vu9p = FpgaDevice::vu9p_slr();
+        assert!(vu9p.on_chip_bits() > zu3.on_chip_bits());
+    }
+
+    #[test]
+    fn devices_serialize_round_trip() {
+        // serde support lets benchmark harnesses dump device configs with results.
+        let d = FpgaDevice::zu3eg();
+        let text = format!("{d:?}");
+        assert!(text.contains("zu3eg"));
+        let clone = d.clone();
+        assert_eq!(d, clone);
+    }
+}

@@ -1,0 +1,453 @@
+//! Node-level latency, initiation-interval and resource estimation.
+//!
+//! The estimator mirrors the QoR model HIDA inherits from ScaleHLS (§6.5, Algorithm 4
+//! line 20): for a dataflow node it derives, from the node's compute profile and the
+//! micro-architectural decisions recorded on the IR (unroll factors, pipelining,
+//! array partitions, buffer placement, tile sizes), the cycle count needed to process
+//! one data frame, the achievable initiation interval, and the resources consumed.
+
+use crate::device::FpgaDevice;
+use crate::resource::{buffer_resources, compute_resources, Resources};
+use hida_dataflow_ir::structural::{BufferOp, NodeOp};
+use hida_dialects::analysis::{profile_body, ComputeProfile};
+use hida_dialects::hls::{self, MemoryKind};
+use hida_dialects::transforms;
+use hida_ir_core::{Context, OpId, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// Physical description of a buffer as seen by one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferInfo {
+    /// Elements per ping-pong stage.
+    pub elements: i64,
+    /// Element bit width.
+    pub bits: u32,
+    /// Per-dimension partition factors.
+    pub partition_factors: Vec<i64>,
+    /// Ping-pong depth.
+    pub depth: i64,
+    /// Physical placement.
+    pub kind: MemoryKind,
+    /// Buffer shape.
+    pub shape: Vec<i64>,
+}
+
+impl BufferInfo {
+    /// Total partition banks.
+    pub fn banks(&self) -> i64 {
+        self.partition_factors.iter().map(|&f| f.max(1)).product::<i64>().max(1)
+    }
+
+    /// On-chip resources occupied by this buffer.
+    pub fn resources(&self) -> Resources {
+        buffer_resources(self.elements, self.bits, self.banks(), self.depth, self.kind)
+    }
+}
+
+/// Resolves the physical description of a buffer-like SSA value: a `hida.buffer`
+/// result, a `memref.alloc` result, a `hida.pack`/`hida.port` handle (external), or a
+/// node body argument (resolved through the node operand it mirrors).
+pub fn buffer_info(ctx: &Context, value: ValueId) -> BufferInfo {
+    // Body argument of a node: map to the corresponding operand.
+    if let Some(block) = ctx.value(value).owner_block() {
+        let owner = ctx
+            .block(block)
+            .parent_region
+            .and_then(|r| ctx.region(r).parent_op);
+        if let Some(owner_op) = owner {
+            if let Some(node) = NodeOp::try_from_op(ctx, owner_op) {
+                let idx = ctx
+                    .block(block)
+                    .args
+                    .iter()
+                    .position(|&a| a == value)
+                    .unwrap_or(0);
+                if let Some(&operand) = ctx.op(node.id()).operands.get(idx) {
+                    return buffer_info(ctx, operand);
+                }
+            }
+        }
+    }
+
+    let ty = ctx.value_type(value).clone();
+    let shape = ty.shape().map(|s| s.to_vec()).unwrap_or_default();
+    let elements = ty.num_elements().unwrap_or(1);
+    let bits = ty.elem_bit_width().max(1);
+    let rank = shape.len();
+
+    if let Some(def) = ctx.value(value).defining_op() {
+        if let Some(buf) = BufferOp::try_from_op(ctx, def) {
+            return BufferInfo {
+                elements: buf.num_elements(ctx),
+                bits: buf.elem_bits(ctx).max(1),
+                partition_factors: buf.partition(ctx).factors,
+                depth: buf.depth(ctx),
+                kind: buf.memory_kind(ctx),
+                shape: buf.shape(ctx),
+            };
+        }
+        let op = ctx.op(def);
+        if op.is(hida_dialects::memory::ALLOC) {
+            let partition = hls::get_array_partition(ctx, def, rank);
+            return BufferInfo {
+                elements,
+                bits,
+                partition_factors: partition.factors,
+                depth: 1,
+                kind: hls::get_memory_kind(ctx, def),
+                shape,
+            };
+        }
+        if op.is(hida_dataflow_ir::op_names::PACK) || op.is(hida_dataflow_ir::op_names::PORT) {
+            return BufferInfo {
+                elements,
+                bits,
+                partition_factors: vec![1; rank.max(1)],
+                depth: 1,
+                kind: MemoryKind::External,
+                shape,
+            };
+        }
+    }
+    // Unknown definition (e.g. function argument): assume an external interface.
+    BufferInfo {
+        elements,
+        bits,
+        partition_factors: vec![1; rank.max(1)],
+        depth: 1,
+        kind: MemoryKind::External,
+        shape,
+    }
+}
+
+/// QoR estimate of one dataflow node (or of any op body treated as a single task).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeEstimate {
+    /// Human-readable node name.
+    pub name: String,
+    /// Cycles to process one data frame.
+    pub latency_cycles: i64,
+    /// Pipeline initiation interval achieved by the innermost loop.
+    pub ii: i64,
+    /// Compute resources consumed by the node (buffers are charged separately).
+    pub resources: Resources,
+    /// Multiply-accumulate operations per frame.
+    pub macs: i64,
+    /// Bytes moved to/from external memory per frame.
+    pub external_bytes: i64,
+    /// Total parallel lanes instantiated (product of unroll factors).
+    pub parallelism: i64,
+}
+
+/// Estimates the body of `op` (a `hida.node`, `hida.task`, or function).
+pub fn estimate_body(ctx: &Context, op: OpId, device: &FpgaDevice) -> NodeEstimate {
+    let profile = profile_body(ctx, op);
+    estimate_profile(ctx, op, &profile, device)
+}
+
+/// Estimates a node given an already-extracted compute profile.
+pub fn estimate_profile(
+    ctx: &Context,
+    op: OpId,
+    profile: &ComputeProfile,
+    device: &FpgaDevice,
+) -> NodeEstimate {
+    let rank = profile.loop_dims.len();
+    let unroll = transforms::unroll_factors_of(ctx, op, rank);
+    let unroll: Vec<i64> = (0..rank)
+        .map(|i| unroll.get(i).copied().unwrap_or(1).max(1))
+        .collect();
+    let total_unroll: i64 = unroll.iter().product::<i64>().max(1);
+    let pipelined = ctx.op(op).has_flag(transforms::ATTR_PIPELINE)
+        || hida_dialects::loops::all_loops(ctx, op)
+            .iter()
+            .any(|l| l.is_pipelined(ctx));
+
+    let is_float = false_or_float(profile);
+    let bits = element_bits(profile, ctx);
+
+    // Trip count after unrolling. Bodies containing several top-level loop nests
+    // (e.g. the Vitis/SOFF sequential baselines) execute the nests back to back, so
+    // the work of the secondary nests is added on top of the primary band.
+    let primary_trip: i64 = profile
+        .loop_dims
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let u = unroll.get(i).copied().unwrap_or(1).max(1);
+            (d.trip + u - 1) / u
+        })
+        .product::<i64>()
+        .max(1);
+    let total_unrolled_work = {
+        let top = hida_dialects::loops::top_level_loops(ctx, op);
+        if top.len() > 1 {
+            let total: i64 = top
+                .iter()
+                .map(|&outer| {
+                    let band = hida_dialects::loops::loop_band(ctx, outer.id());
+                    hida_dialects::loops::band_trip_count(ctx, &band)
+                })
+                .sum();
+            (total / total_unroll.max(1)).max(primary_trip)
+        } else {
+            primary_trip
+        }
+    };
+    let trip_total = total_unrolled_work;
+
+    // Initiation interval limited by memory ports of each accessed on-chip buffer.
+    let mut ii: i64 = 1;
+    let mut external_bytes: i64 = 0;
+    let mut has_external = false;
+    let tile_sizes = transforms::tile_sizes_of(ctx, op, rank);
+    for access in &profile.accesses {
+        let info = buffer_info(ctx, access.buffer);
+        if info.kind == MemoryKind::External {
+            has_external = true;
+            // One frame moves the (tiled) working set once.
+            let moved_elements = match &tile_sizes {
+                Some(tiles) => tiles
+                    .iter()
+                    .zip(info.shape.iter())
+                    .map(|(&t, &s)| t.clamp(1, s))
+                    .product::<i64>()
+                    .max(1)
+                    .max(info.elements.min(1)),
+                None => info.elements,
+            };
+            external_bytes += moved_elements.max(info.elements.min(4096)) * (info.bits as i64) / 8;
+            continue;
+        }
+        // Parallel accesses required on this buffer: for every buffer dimension,
+        // multiply by the unroll of the loop driving that dimension.
+        let mut required: i64 = 1;
+        let mut served: i64 = 1;
+        for (dim_idx, dim_access) in access.pattern.dims.iter().enumerate() {
+            if let Some((loop_idx, _stride)) = dim_access {
+                let u = unroll.get(*loop_idx).copied().unwrap_or(1).max(1);
+                required *= u;
+                let factor = info.partition_factors.get(dim_idx).copied().unwrap_or(1).max(1);
+                served *= factor.min(u);
+            }
+        }
+        // Two ports per bank (true dual-port BRAM).
+        let ports = served * 2;
+        let buffer_ii = (required + ports - 1) / ports;
+        ii = ii.max(buffer_ii.max(1));
+    }
+
+    // Pipeline depth grows with operator latency and the unroll reduction tree.
+    let mut depth: i64 = 3 + (64 - (total_unroll as u64).leading_zeros() as i64).max(0);
+    if is_float {
+        depth += 8;
+    }
+    if profile.divs_per_iter > 0 {
+        depth += 18;
+    }
+
+    let compute_latency = if pipelined {
+        ii * (trip_total - 1) + depth
+    } else {
+        trip_total * depth.max(2)
+    };
+
+    // External memory transfer, overlapped with compute (tile load/store hiding).
+    let transfer_latency = if has_external {
+        let min_tile = tile_sizes
+            .as_ref()
+            .and_then(|t| t.iter().copied().min())
+            .unwrap_or(i64::MAX);
+        // Short bursts waste bandwidth.
+        let burst_efficiency = if min_tile >= 32 {
+            1.0
+        } else if min_tile >= 16 {
+            0.85
+        } else if min_tile >= 8 {
+            0.6
+        } else if min_tile >= 4 {
+            0.35
+        } else {
+            0.2
+        };
+        let cycles = external_bytes as f64 / (device.axi_bytes_per_cycle * burst_efficiency);
+        device.axi_latency + cycles.ceil() as i64
+    } else {
+        0
+    };
+    let latency = compute_latency.max(transfer_latency) + if has_external { device.axi_latency } else { 0 };
+
+    // Address-generation DSP overhead for fine-grained external access.
+    let addr_dsp = if has_external {
+        match tile_sizes.as_ref().and_then(|t| t.iter().copied().min()) {
+            Some(t) if t <= 2 => 4,
+            Some(t) if t <= 4 => 2,
+            Some(t) if t <= 8 => 1,
+            _ => 0,
+        }
+    } else {
+        0
+    };
+
+    let resources = compute_resources(
+        profile.muls_per_iter.max(if profile.macs > 0 { 1 } else { 0 }),
+        profile.adds_per_iter.max(1),
+        profile.divs_per_iter,
+        profile.mem_per_iter.max(2),
+        is_float,
+        bits,
+        total_unroll,
+        addr_dsp,
+    );
+
+    NodeEstimate {
+        name: node_name(ctx, op),
+        latency_cycles: latency.max(1),
+        ii: ii.max(1),
+        resources,
+        macs: profile.macs,
+        external_bytes,
+        parallelism: total_unroll,
+    }
+}
+
+fn node_name(ctx: &Context, op: OpId) -> String {
+    ctx.op(op)
+        .attr_str("node_name")
+        .or_else(|| ctx.op(op).attr_str("task_name"))
+        .or_else(|| ctx.op(op).attr_str("sym_name"))
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("op{}", op.index()))
+}
+
+fn false_or_float(profile: &ComputeProfile) -> bool {
+    // DNN layers are quantized to int8 in the accelerator; explicit loop nests from
+    // PolyBench use f32. We infer "float" when MACs exist but no named layer weights
+    // were recorded (named layers record weight_params).
+    profile.weight_params == 0 && profile.macs > 0
+}
+
+fn element_bits(profile: &ComputeProfile, ctx: &Context) -> u32 {
+    profile
+        .accesses
+        .first()
+        .map(|a| ctx.value_type(a.buffer).elem_bit_width().max(8))
+        .unwrap_or(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hida_dialects::arith;
+    use hida_dialects::loops::build_loop_nest;
+    use hida_dialects::memory::{build_alloc, build_load, build_store};
+    use hida_ir_core::{OpBuilder, Type};
+
+    /// A simple vector-add loop nest over a 1024-element buffer.
+    fn vector_add(ctx: &mut Context, partition: i64, unroll: i64) -> OpId {
+        let module = ctx.create_module("m");
+        let func = OpBuilder::at_end_of(ctx, module).create_func("vadd", vec![], vec![]);
+        let body = ctx.body_block(func);
+        let (a, b_val, c) = {
+            let mut b = OpBuilder::at_block_end(ctx, body);
+            let a = build_alloc(&mut b, Type::memref(vec![1024], Type::f32()), "A");
+            let bb = build_alloc(&mut b, Type::memref(vec![1024], Type::f32()), "B");
+            let c = build_alloc(&mut b, Type::memref(vec![1024], Type::f32()), "C");
+            (a, bb, c)
+        };
+        if partition > 1 {
+            for buf in [a, b_val, c] {
+                let def = ctx.value(buf).defining_op().unwrap();
+                hls::set_array_partition(
+                    ctx,
+                    def,
+                    &hls::ArrayPartition::cyclic(vec![partition]),
+                );
+            }
+        }
+        let (_loops, ivs, inner) = build_loop_nest(ctx, body, &[(0, 1024, "i")]);
+        let mut bld = OpBuilder::at_block_end(ctx, inner);
+        let x = build_load(&mut bld, a, &[ivs[0]]);
+        let y = build_load(&mut bld, b_val, &[ivs[0]]);
+        let sum = arith::build_binary(&mut bld, arith::ADDF, x, y);
+        build_store(&mut bld, sum, c, &[ivs[0]]);
+        transforms::apply_unroll_factors(ctx, func, &[unroll]).unwrap();
+        func
+    }
+
+    #[test]
+    fn unrolling_with_matching_partition_keeps_ii_low() {
+        let device = FpgaDevice::zu3eg();
+        let mut ctx = Context::new();
+        let func = vector_add(&mut ctx, 8, 8);
+        let est = estimate_body(&ctx, func, &device);
+        assert_eq!(est.ii, 1);
+        assert_eq!(est.parallelism, 8);
+        // 1024/8 = 128 pipeline iterations.
+        assert!(est.latency_cycles >= 128 && est.latency_cycles < 200);
+    }
+
+    #[test]
+    fn unrolling_without_partition_raises_ii_and_latency() {
+        let device = FpgaDevice::zu3eg();
+        let mut ctx_bad = Context::new();
+        let bad = vector_add(&mut ctx_bad, 1, 8);
+        let bad_est = estimate_body(&ctx_bad, bad, &device);
+        let mut ctx_good = Context::new();
+        let good = vector_add(&mut ctx_good, 8, 8);
+        let good_est = estimate_body(&ctx_good, good, &device);
+        assert!(bad_est.ii > good_est.ii);
+        assert!(bad_est.latency_cycles > good_est.latency_cycles);
+    }
+
+    #[test]
+    fn more_unroll_means_fewer_cycles_and_more_resources() {
+        let device = FpgaDevice::zu3eg();
+        let mut ctx1 = Context::new();
+        let f1 = vector_add(&mut ctx1, 1, 1);
+        let e1 = estimate_body(&ctx1, f1, &device);
+        let mut ctx2 = Context::new();
+        let f2 = vector_add(&mut ctx2, 16, 16);
+        let e2 = estimate_body(&ctx2, f2, &device);
+        assert!(e2.latency_cycles < e1.latency_cycles);
+        assert!(e2.resources.dsp >= e1.resources.dsp);
+        assert!(e2.resources.lut > e1.resources.lut);
+    }
+
+    #[test]
+    fn buffer_info_resolves_allocs_and_defaults() {
+        let mut ctx = Context::new();
+        let func = vector_add(&mut ctx, 4, 1);
+        let profile = profile_body(&ctx, func);
+        let info = buffer_info(&ctx, profile.accesses[0].buffer);
+        assert_eq!(info.elements, 1024);
+        assert_eq!(info.bits, 32);
+        assert_eq!(info.banks(), 4);
+        assert_eq!(info.kind, MemoryKind::Bram);
+        assert!(info.resources().bram_18k > 0);
+    }
+
+    #[test]
+    fn estimate_reports_macs_for_mac_kernels() {
+        let device = FpgaDevice::zu3eg();
+        let mut ctx = Context::new();
+        let module = ctx.create_module("m");
+        let func = OpBuilder::at_end_of(&mut ctx, module).create_func("mm", vec![], vec![]);
+        let body = ctx.body_block(func);
+        let (a, c) = {
+            let mut b = OpBuilder::at_block_end(&mut ctx, body);
+            let a = build_alloc(&mut b, Type::memref(vec![64, 64], Type::f32()), "A");
+            let c = build_alloc(&mut b, Type::memref(vec![64, 64], Type::f32()), "C");
+            (a, c)
+        };
+        let (_l, ivs, inner) =
+            build_loop_nest(&mut ctx, body, &[(0, 64, "i"), (0, 64, "j")]);
+        let mut bld = OpBuilder::at_block_end(&mut ctx, inner);
+        let x = build_load(&mut bld, a, &[ivs[0], ivs[1]]);
+        let prod = arith::build_binary(&mut bld, arith::MULF, x, x);
+        build_store(&mut bld, prod, c, &[ivs[0], ivs[1]]);
+        let est = estimate_body(&ctx, func, &device);
+        assert_eq!(est.macs, 64 * 64);
+        assert!(est.latency_cycles > 0);
+    }
+}

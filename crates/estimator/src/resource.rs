@@ -1,0 +1,284 @@
+//! DSP / BRAM / LUT / FF resource model.
+//!
+//! Compute resources scale with the per-iteration operation mix times the total
+//! unroll factor; memory resources scale with buffer capacity, partition bank count
+//! and ping-pong depth. The model also charges DSPs for address generation when
+//! small tiles force fine-grained external-memory access — the effect the paper's
+//! Figure 10 ablation highlights ("small tile can drastically increase DSP
+//! utilization").
+
+use crate::device::FpgaDevice;
+use hida_dialects::hls::MemoryKind;
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Aggregate FPGA resource usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resources {
+    /// DSP blocks.
+    pub dsp: i64,
+    /// 18 Kb block RAMs.
+    pub bram_18k: i64,
+    /// Lookup tables.
+    pub lut: i64,
+    /// Flip-flops.
+    pub ff: i64,
+}
+
+impl Resources {
+    /// Resource vector with all entries zero.
+    pub fn zero() -> Self {
+        Resources::default()
+    }
+
+    /// Creates a resource vector from raw counts.
+    pub fn new(dsp: i64, bram_18k: i64, lut: i64, ff: i64) -> Self {
+        Resources {
+            dsp,
+            bram_18k,
+            lut,
+            ff,
+        }
+    }
+
+    /// Utilization of the dominant resource on `device`, in `[0, +inf)`
+    /// (`max(BRAM%, DSP%, LUT%)` as used in Figure 1).
+    pub fn utilization(&self, device: &FpgaDevice) -> f64 {
+        let dsp = self.dsp as f64 / device.dsp.max(1) as f64;
+        let bram = self.bram_18k as f64 / device.bram_18k.max(1) as f64;
+        let lut = self.lut as f64 / device.lut.max(1) as f64;
+        dsp.max(bram).max(lut)
+    }
+
+    /// Returns true when every resource fits on `device`.
+    pub fn fits(&self, device: &FpgaDevice) -> bool {
+        self.dsp <= device.dsp
+            && self.bram_18k <= device.bram_18k
+            && self.lut <= device.lut
+            && self.ff <= device.ff
+    }
+
+    /// Scales every entry by an integer factor (e.g. replicating a compute unit).
+    pub fn scaled(&self, factor: i64) -> Resources {
+        Resources {
+            dsp: self.dsp * factor,
+            bram_18k: self.bram_18k * factor,
+            lut: self.lut * factor,
+            ff: self.ff * factor,
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            dsp: self.dsp + rhs.dsp,
+            bram_18k: self.bram_18k + rhs.bram_18k,
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::zero(), |a, b| a + b)
+    }
+}
+
+/// Cost of one scalar operation of the given class and element bit width.
+///
+/// The table follows typical Vitis HLS characterization: 8/16-bit multiplies fit one
+/// DSP, 32-bit integer multiplies need two, single-precision floating point
+/// multiply/add units need three/two DSPs plus several hundred LUTs.
+pub fn op_cost(class: hida_dialects::arith::OpClass, is_float: bool, bits: u32) -> Resources {
+    use hida_dialects::arith::OpClass;
+    match class {
+        OpClass::MulLike => {
+            if is_float {
+                if bits <= 32 {
+                    Resources::new(3, 0, 350, 300)
+                } else {
+                    Resources::new(8, 0, 800, 700)
+                }
+            } else if bits <= 18 {
+                Resources::new(1, 0, 60, 50)
+            } else {
+                Resources::new(2, 0, 120, 100)
+            }
+        }
+        OpClass::AddLike => {
+            if is_float {
+                Resources::new(2, 0, 400, 350)
+            } else {
+                Resources::new(0, 0, bits.max(8) as i64, bits.max(8) as i64)
+            }
+        }
+        OpClass::DivLike => {
+            if is_float {
+                Resources::new(0, 0, 3_000, 2_800)
+            } else {
+                Resources::new(0, 0, 1_200, 1_100)
+            }
+        }
+        OpClass::Memory | OpClass::Other => Resources::new(0, 0, 20, 20),
+    }
+}
+
+/// Compute resources of one node given its per-iteration op mix, element properties
+/// and total unroll factor (the number of parallel compute lanes).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_resources(
+    muls_per_iter: i64,
+    adds_per_iter: i64,
+    divs_per_iter: i64,
+    mem_per_iter: i64,
+    is_float: bool,
+    bits: u32,
+    unroll: i64,
+    address_gen_dsp_per_access: i64,
+) -> Resources {
+    use hida_dialects::arith::OpClass;
+    let unroll = unroll.max(1);
+    let mut r = Resources::zero();
+    r += op_cost(OpClass::MulLike, is_float, bits).scaled(muls_per_iter * unroll);
+    r += op_cost(OpClass::AddLike, is_float, bits).scaled(adds_per_iter * unroll);
+    r += op_cost(OpClass::DivLike, is_float, bits).scaled(divs_per_iter * unroll);
+    r += op_cost(OpClass::Memory, is_float, bits).scaled(mem_per_iter * unroll);
+    // Address generation: fine-grained external access burns DSPs on index math.
+    r.dsp += address_gen_dsp_per_access * mem_per_iter.min(4) * unroll.min(8);
+    // Control overhead per parallel lane.
+    r.lut += 90 * unroll;
+    r.ff += 110 * unroll;
+    r
+}
+
+/// Memory resources of one buffer.
+///
+/// * `elements` — scalar elements per stage,
+/// * `bits` — element bit width,
+/// * `banks` — array-partition bank count,
+/// * `depth` — ping-pong stages,
+/// * `kind` — physical placement.
+///
+/// External buffers consume no on-chip memory. Small on-chip buffers (≤ 1024 bits
+/// per bank) are implemented in LUTRAM. Every BRAM bank costs at least one 18 Kb
+/// block even when mostly empty — which is why, as §7.3 observes, shrinking tiles
+/// below the BRAM granularity does not reduce memory utilization.
+pub fn buffer_resources(
+    elements: i64,
+    bits: u32,
+    banks: i64,
+    depth: i64,
+    kind: MemoryKind,
+) -> Resources {
+    let banks = banks.max(1);
+    let depth = depth.max(1);
+    match kind {
+        MemoryKind::External => Resources::zero(),
+        MemoryKind::Lutram => {
+            let total_bits = elements * bits as i64 * depth;
+            Resources::new(0, 0, (total_bits / 6).max(8), (total_bits / 12).max(4))
+        }
+        MemoryKind::Bram | MemoryKind::Uram => {
+            let bits_per_bank_stage = (elements.max(1) * bits as i64 + banks - 1) / banks;
+            if bits_per_bank_stage <= 1024 && banks * depth <= 64 {
+                // Small banks fall back to distributed RAM.
+                let total_bits = elements * bits as i64 * depth;
+                return Resources::new(0, 0, (total_bits / 6).max(8), (total_bits / 12).max(4));
+            }
+            let bram_per_bank = (bits_per_bank_stage + 18 * 1024 - 1) / (18 * 1024);
+            Resources::new(0, bram_per_bank.max(1) * banks * depth, 30 * banks, 20 * banks)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hida_dialects::arith::OpClass;
+
+    #[test]
+    fn resource_arithmetic_and_utilization() {
+        let a = Resources::new(10, 20, 1_000, 2_000);
+        let b = Resources::new(5, 2, 100, 200);
+        let sum = a + b;
+        assert_eq!(sum, Resources::new(15, 22, 1_100, 2_200));
+        assert_eq!(a.scaled(2), Resources::new(20, 40, 2_000, 4_000));
+        let total: Resources = vec![a, b].into_iter().sum();
+        assert_eq!(total, sum);
+
+        let device = FpgaDevice::zu3eg();
+        assert!(a.fits(&device));
+        assert!(a.utilization(&device) > 0.0 && a.utilization(&device) < 1.0);
+        let huge = Resources::new(10_000, 0, 0, 0);
+        assert!(!huge.fits(&device));
+        assert!(huge.utilization(&device) > 1.0);
+    }
+
+    #[test]
+    fn op_costs_rank_sensibly() {
+        let int8_mul = op_cost(OpClass::MulLike, false, 8);
+        let int32_mul = op_cost(OpClass::MulLike, false, 32);
+        let f32_mul = op_cost(OpClass::MulLike, true, 32);
+        assert!(int8_mul.dsp <= int32_mul.dsp);
+        assert!(int32_mul.dsp <= f32_mul.dsp);
+        let int_add = op_cost(OpClass::AddLike, false, 32);
+        assert_eq!(int_add.dsp, 0);
+        assert!(op_cost(OpClass::DivLike, true, 32).lut > f32_mul.lut);
+    }
+
+    #[test]
+    fn compute_resources_scale_with_unroll() {
+        let base = compute_resources(1, 1, 0, 2, false, 8, 1, 0);
+        let unrolled = compute_resources(1, 1, 0, 2, false, 8, 16, 0);
+        assert_eq!(unrolled.dsp, base.dsp * 16);
+        assert!(unrolled.lut > base.lut * 10);
+    }
+
+    #[test]
+    fn address_generation_charges_dsp() {
+        let without = compute_resources(1, 1, 0, 2, false, 8, 4, 0);
+        let with = compute_resources(1, 1, 0, 2, false, 8, 4, 3);
+        assert!(with.dsp > without.dsp);
+    }
+
+    #[test]
+    fn buffer_resources_follow_bank_granularity() {
+        // 64x64 int8 buffer, 1 bank, single stage: 4 KiB -> 2 BRAM18K.
+        let single = buffer_resources(4096, 8, 1, 1, MemoryKind::Bram);
+        assert_eq!(single.bram_18k, 2);
+        // Partitioned into 8 banks: each bank holds 512 bytes -> still 1 BRAM each.
+        let banked = buffer_resources(4096, 8, 8, 1, MemoryKind::Bram);
+        assert_eq!(banked.bram_18k, 8);
+        // Ping-pong doubles the count.
+        let pingpong = buffer_resources(4096, 8, 8, 2, MemoryKind::Bram);
+        assert_eq!(pingpong.bram_18k, 16);
+        // External buffers consume nothing on chip.
+        assert_eq!(
+            buffer_resources(1 << 20, 8, 1, 2, MemoryKind::External),
+            Resources::zero()
+        );
+        // Tiny buffers use LUTRAM, not BRAM.
+        let tiny = buffer_resources(16, 8, 1, 2, MemoryKind::Bram);
+        assert_eq!(tiny.bram_18k, 0);
+        assert!(tiny.lut > 0);
+    }
+
+    #[test]
+    fn shrinking_buffers_below_bram_granularity_does_not_free_brams() {
+        // The Figure 10 observation: once a tile fits one BRAM, smaller tiles keep
+        // using one BRAM per bank.
+        let med = buffer_resources(2048, 8, 4, 2, MemoryKind::Bram);
+        let small = buffer_resources(1024, 8, 4, 2, MemoryKind::Bram);
+        assert_eq!(med.bram_18k, small.bram_18k);
+    }
+}

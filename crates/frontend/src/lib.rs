@@ -1,0 +1,25 @@
+//! Front-ends of the HIDA reproduction.
+//!
+//! The original HIDA accepts PyTorch models (through Torch-MLIR) and HLS C++
+//! (through Polygeist). This crate plays the same role by constructing the
+//! corresponding IR directly:
+//!
+//! * [`nn`] — a neural-network graph builder plus the model zoo used in the paper's
+//!   PyTorch evaluation (LeNet, ResNet-18, MobileNet-V1, ZFNet, VGG-16, Tiny-YOLO,
+//!   MLP), lowered to named `linalg`-style layers over tensors,
+//! * [`polybench`] — the PolyBench C++ kernels of Table 7 (2mm, 3mm, atax, bicg,
+//!   correlation, gesummv, jacobi-2d, mvt, seidel-2d, symm, syr2k), constructed as
+//!   explicit affine loop nests over memrefs,
+//! * [`listing1`] — the three-node running example of Listing 1, used by Tables 4-6.
+
+pub mod listing1;
+pub mod nn;
+pub mod polybench;
+
+pub use nn::{build_model, Model};
+pub use polybench::{build_kernel, PolybenchKernel};
+
+/// Operation name of the synthetic input source (stands in for the host interface).
+pub const INPUT: &str = "hida.input";
+/// Operation name of the synthetic output sink (stands in for the host interface).
+pub const OUTPUT: &str = "hida.output";

@@ -1,0 +1,298 @@
+//! Dataflow graph view over a structural schedule.
+//!
+//! Multi-producer elimination (Algorithm 3) and data-path balancing (§6.4.2) reason
+//! about the producer/consumer relationships induced by shared buffers: which node
+//! writes a buffer, which nodes read it, how long each data path is, and where paths
+//! of different lengths reconverge. [`DataflowGraph`] materialises that view from a
+//! [`ScheduleOp`] so the optimizations stay simple graph algorithms.
+
+use crate::structural::{NodeOp, ScheduleOp};
+use hida_ir_core::{Context, ValueId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A producer→consumer edge through a shared buffer or stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataflowEdge {
+    /// Writing node.
+    pub producer: NodeOp,
+    /// Reading node.
+    pub consumer: NodeOp,
+    /// The buffer/stream value connecting them.
+    pub buffer: ValueId,
+}
+
+/// A dataflow graph derived from a schedule.
+#[derive(Debug, Clone, Default)]
+pub struct DataflowGraph {
+    /// All nodes in program order.
+    pub nodes: Vec<NodeOp>,
+    /// All producer→consumer edges.
+    pub edges: Vec<DataflowEdge>,
+}
+
+impl DataflowGraph {
+    /// Builds the dataflow graph of `schedule`.
+    ///
+    /// An edge `(p, c, b)` is created when node `p` writes buffer `b`, node `c` reads
+    /// it, and `p` appears before `c` in program order (the dataflow direction).
+    pub fn from_schedule(ctx: &Context, schedule: ScheduleOp) -> Self {
+        let nodes = schedule.nodes(ctx);
+        let position: HashMap<NodeOp, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut edges = Vec::new();
+        let mut buffers: Vec<ValueId> = Vec::new();
+        for node in &nodes {
+            for operand in node.operands(ctx) {
+                if !buffers.contains(&operand) {
+                    buffers.push(operand);
+                }
+            }
+        }
+        for buffer in buffers {
+            let producers: Vec<NodeOp> = nodes
+                .iter()
+                .copied()
+                .filter(|n| n.writes(ctx, buffer))
+                .collect();
+            let consumers: Vec<NodeOp> = nodes
+                .iter()
+                .copied()
+                .filter(|n| n.reads(ctx, buffer))
+                .collect();
+            for &p in &producers {
+                for &c in &consumers {
+                    if p != c && position[&p] < position[&c] {
+                        edges.push(DataflowEdge {
+                            producer: p,
+                            consumer: c,
+                            buffer,
+                        });
+                    }
+                }
+            }
+        }
+        DataflowGraph { nodes, edges }
+    }
+
+    /// Nodes with an edge from `node`.
+    pub fn successors(&self, node: NodeOp) -> Vec<NodeOp> {
+        let mut out: Vec<NodeOp> = self
+            .edges
+            .iter()
+            .filter(|e| e.producer == node)
+            .map(|e| e.consumer)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Nodes with an edge into `node`.
+    pub fn predecessors(&self, node: NodeOp) -> Vec<NodeOp> {
+        let mut out: Vec<NodeOp> = self
+            .edges
+            .iter()
+            .filter(|e| e.consumer == node)
+            .map(|e| e.producer)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct nodes `node` is connected to (in either direction) through
+    /// shared buffers — the "connections" count of §6.5 step (2).
+    pub fn connection_count(&self, node: NodeOp) -> usize {
+        let mut peers: HashSet<NodeOp> = HashSet::new();
+        for e in &self.edges {
+            if e.producer == node {
+                peers.insert(e.consumer);
+            }
+            if e.consumer == node {
+                peers.insert(e.producer);
+            }
+        }
+        peers.len()
+    }
+
+    /// Nodes with no predecessors (dataflow sources).
+    pub fn sources(&self) -> Vec<NodeOp> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.predecessors(n).is_empty())
+            .collect()
+    }
+
+    /// Nodes with no successors (dataflow sinks).
+    pub fn sinks(&self) -> Vec<NodeOp> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.successors(n).is_empty())
+            .collect()
+    }
+
+    /// Longest-path depth of each node measured in edges from any source.
+    ///
+    /// Sources have depth 0; every other node has depth `1 + max(depth of preds)`.
+    /// Because edges always point forward in program order the graph is acyclic.
+    pub fn path_depths(&self) -> HashMap<NodeOp, usize> {
+        let mut depth: HashMap<NodeOp, usize> = HashMap::new();
+        // Process in program order: all predecessors precede their consumers.
+        for &node in &self.nodes {
+            let d = self
+                .predecessors(node)
+                .iter()
+                .filter_map(|p| depth.get(p).map(|&x| x + 1))
+                .max()
+                .unwrap_or(0);
+            depth.insert(node, d);
+        }
+        depth
+    }
+
+    /// Edges whose producer and consumer depths differ by more than one — the "short
+    /// paths" that make the producer wait for longer reconverging paths (Figure 8).
+    /// Returns `(edge, imbalance)` where `imbalance = depth(consumer) - depth(producer) - 1`.
+    pub fn unbalanced_edges(&self) -> Vec<(DataflowEdge, usize)> {
+        let depths = self.path_depths();
+        self.edges
+            .iter()
+            .filter_map(|&e| {
+                let d_p = depths[&e.producer];
+                let d_c = depths[&e.consumer];
+                if d_c > d_p + 1 {
+                    Some((e, d_c - d_p - 1))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Breadth-first reachability from `from` to `to`.
+    pub fn reaches(&self, from: NodeOp, to: NodeOp) -> bool {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return true;
+            }
+            for s in self.successors(n) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structural::{build_buffer, build_node, build_schedule};
+    use hida_dialects::analysis::MemEffect;
+    use hida_ir_core::{OpBuilder, Type};
+
+    /// Builds the residual-block shape of Figure 8(a):
+    /// `Node0 -> (Buf1 -> Node1 -> Buf2 -> Node2)` and `Node0 -> Buf3 -> Node2`.
+    fn residual_schedule(ctx: &mut Context) -> (ScheduleOp, Vec<NodeOp>) {
+        let module = ctx.create_module("m");
+        let func = OpBuilder::at_end_of(ctx, module).create_func("f", vec![], vec![]);
+        let (schedule, body) = {
+            let mut b = OpBuilder::at_end_of(ctx, func);
+            build_schedule(&mut b, "residual")
+        };
+        let ty = Type::memref(vec![16], Type::f32());
+        let mk_buf = |ctx: &mut Context, name: &str| {
+            let mut b = OpBuilder::at_block_end(ctx, body);
+            build_buffer(&mut b, ty.clone(), 2, name).1
+        };
+        let buf0 = mk_buf(ctx, "buf0");
+        let buf1 = mk_buf(ctx, "buf1");
+        let buf2 = mk_buf(ctx, "buf2");
+        let buf3 = mk_buf(ctx, "buf3");
+        let (n0, _) = build_node(
+            ctx,
+            body,
+            "node0",
+            &[(buf0, MemEffect::Read), (buf1, MemEffect::Write), (buf3, MemEffect::Write)],
+        );
+        let (n1, _) = build_node(
+            ctx,
+            body,
+            "node1",
+            &[(buf1, MemEffect::Read), (buf2, MemEffect::Write)],
+        );
+        let (n2, _) = build_node(
+            ctx,
+            body,
+            "node2",
+            &[(buf2, MemEffect::Read), (buf3, MemEffect::Read)],
+        );
+        (schedule, vec![n0, n1, n2])
+    }
+
+    #[test]
+    fn edges_follow_program_order_producers_to_consumers() {
+        let mut ctx = Context::new();
+        let (schedule, nodes) = residual_schedule(&mut ctx);
+        let g = DataflowGraph::from_schedule(&ctx, schedule);
+        assert_eq!(g.nodes.len(), 3);
+        // Edges: n0->n1 (buf1), n1->n2 (buf2), n0->n2 (buf3).
+        assert_eq!(g.edges.len(), 3);
+        let mut succ = g.successors(nodes[0]);
+        succ.sort();
+        assert_eq!(succ, vec![nodes[1], nodes[2]]);
+        let mut preds = g.predecessors(nodes[2]);
+        preds.sort();
+        assert_eq!(preds, vec![nodes[0], nodes[1]]);
+        assert_eq!(g.sources(), vec![nodes[0]]);
+        assert_eq!(g.sinks(), vec![nodes[2]]);
+        assert!(g.reaches(nodes[0], nodes[2]));
+        assert!(!g.reaches(nodes[2], nodes[0]));
+    }
+
+    #[test]
+    fn connection_counts_match_figure8() {
+        let mut ctx = Context::new();
+        let (schedule, nodes) = residual_schedule(&mut ctx);
+        let g = DataflowGraph::from_schedule(&ctx, schedule);
+        assert_eq!(g.connection_count(nodes[0]), 2);
+        assert_eq!(g.connection_count(nodes[1]), 2);
+        assert_eq!(g.connection_count(nodes[2]), 2);
+    }
+
+    #[test]
+    fn unbalanced_edge_detected_on_shortcut_path() {
+        let mut ctx = Context::new();
+        let (schedule, nodes) = residual_schedule(&mut ctx);
+        let g = DataflowGraph::from_schedule(&ctx, schedule);
+        let depths = g.path_depths();
+        assert_eq!(depths[&nodes[0]], 0);
+        assert_eq!(depths[&nodes[1]], 1);
+        assert_eq!(depths[&nodes[2]], 2);
+        let unbalanced = g.unbalanced_edges();
+        assert_eq!(unbalanced.len(), 1);
+        let (edge, imbalance) = unbalanced[0];
+        assert_eq!(edge.producer, nodes[0]);
+        assert_eq!(edge.consumer, nodes[2]);
+        assert_eq!(imbalance, 1);
+    }
+
+    #[test]
+    fn empty_schedule_produces_empty_graph() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("m");
+        let func = OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![], vec![]);
+        let (schedule, _) = {
+            let mut b = OpBuilder::at_end_of(&mut ctx, func);
+            build_schedule(&mut b, "empty")
+        };
+        let g = DataflowGraph::from_schedule(&ctx, schedule);
+        assert!(g.nodes.is_empty());
+        assert!(g.edges.is_empty());
+        assert!(g.sources().is_empty());
+        assert!(g.unbalanced_edges().is_empty());
+    }
+}

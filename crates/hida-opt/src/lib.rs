@@ -1,0 +1,227 @@
+//! HIDA-OPT: the hierarchical dataflow optimizer (paper §6).
+//!
+//! The optimizer decomposes the dataflow optimization problem into five steps, each
+//! implemented as a pass over the IR:
+//!
+//! 1. [`construct`] — Functional dataflow construction (Algorithm 1): wrap
+//!    dispatchable regions into `hida.dispatch` and every compute op into a
+//!    `hida.task`.
+//! 2. [`fusion`] — Functional dataflow optimization (Algorithm 2): pattern-driven
+//!    and criticality-driven task fusion, then hierarchy canonicalization.
+//! 3. [`lower`] — Structural dataflow construction: tensors become ping-pong
+//!    `hida.buffer`s, tasks become isolated `hida.node`s with explicit memory
+//!    effects inside a `hida.schedule`.
+//! 4. [`structural_opt`] — multi-producer elimination (Algorithm 3) and data-path
+//!    balancing (on-chip buffer deepening / soft FIFOs with token flow).
+//! 5. [`parallelize`] — intensity- and connection-aware parallelization
+//!    (Algorithm 4), followed by connection-aware array partitioning.
+//!
+//! The whole pipeline is driven by [`HidaOptimizer`] with a set of [`HidaOptions`].
+
+pub mod construct;
+pub mod fusion;
+pub mod lower;
+pub mod parallelize;
+pub mod structural_opt;
+pub mod tiling;
+
+use hida_dataflow_ir::structural::ScheduleOp;
+use hida_estimator::device::FpgaDevice;
+use hida_ir_core::{Context, IrResult, OpId};
+
+/// Parallelization strategy, used by the Figure 11 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParallelMode {
+    /// Intensity-aware and connection-aware (the full HIDA approach).
+    IaCa,
+    /// Intensity-aware only: per-node budgets, no inter-node alignment constraints.
+    IaOnly,
+    /// Connection-aware only: alignment constraints, uniform per-node budgets.
+    CaOnly,
+    /// Neither: every node receives the maximum parallel factor.
+    Naive,
+}
+
+impl ParallelMode {
+    /// True when parallel factors are scaled by node intensity.
+    pub fn intensity_aware(self) -> bool {
+        matches!(self, ParallelMode::IaCa | ParallelMode::IaOnly)
+    }
+
+    /// True when inter-node connections constrain unroll factors and partitions.
+    pub fn connection_aware(self) -> bool {
+        matches!(self, ParallelMode::IaCa | ParallelMode::CaOnly)
+    }
+
+    /// Short label used in reports ("IA+CA", "IA", "CA", "Naive").
+    pub fn label(self) -> &'static str {
+        match self {
+            ParallelMode::IaCa => "IA+CA",
+            ParallelMode::IaOnly => "IA",
+            ParallelMode::CaOnly => "CA",
+            ParallelMode::Naive => "Naive",
+        }
+    }
+}
+
+/// Configuration of one HIDA compilation.
+#[derive(Debug, Clone)]
+pub struct HidaOptions {
+    /// Maximum parallel factor granted to any single node.
+    pub max_parallel_factor: i64,
+    /// Spatial tile size applied to large layers (None = untiled).
+    pub tile_size: Option<i64>,
+    /// Parallelization strategy.
+    pub mode: ParallelMode,
+    /// Whether task fusion (Algorithm 2) runs.
+    pub enable_fusion: bool,
+    /// Whether multi-producer elimination and data-path balancing run.
+    pub enable_balancing: bool,
+    /// Buffers larger than this many bytes are spilled to external memory
+    /// (soft FIFO) when tiling is enabled.
+    pub external_threshold_bytes: i64,
+    /// Target device (drives resource-constrained parallel factor generation).
+    pub device: FpgaDevice,
+}
+
+impl Default for HidaOptions {
+    fn default() -> Self {
+        HidaOptions {
+            max_parallel_factor: 32,
+            tile_size: Some(8),
+            mode: ParallelMode::IaCa,
+            enable_fusion: true,
+            enable_balancing: true,
+            external_threshold_bytes: 64 * 1024,
+            device: FpgaDevice::vu9p_slr(),
+        }
+    }
+}
+
+impl HidaOptions {
+    /// Options tuned for the small PolyBench kernels on the ZU3EG device.
+    pub fn polybench() -> Self {
+        HidaOptions {
+            max_parallel_factor: 16,
+            tile_size: None,
+            device: FpgaDevice::zu3eg(),
+            external_threshold_bytes: 512 * 1024,
+            ..HidaOptions::default()
+        }
+    }
+
+    /// Options tuned for the DNN models on one VU9P SLR.
+    pub fn dnn() -> Self {
+        HidaOptions {
+            max_parallel_factor: 256,
+            tile_size: Some(16),
+            device: FpgaDevice::vu9p_slr(),
+            ..HidaOptions::default()
+        }
+    }
+}
+
+/// End-to-end HIDA-OPT driver.
+#[derive(Debug, Clone)]
+pub struct HidaOptimizer {
+    options: HidaOptions,
+}
+
+impl HidaOptimizer {
+    /// Creates an optimizer with the given options.
+    pub fn new(options: HidaOptions) -> Self {
+        HidaOptimizer { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &HidaOptions {
+        &self.options
+    }
+
+    /// Runs the full HIDA-OPT pipeline on `func` (a function produced by one of the
+    /// front-ends) and returns the resulting structural schedule.
+    ///
+    /// # Errors
+    /// Propagates pass failures (malformed IR, impossible constraints).
+    pub fn run(&self, ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp> {
+        construct::construct_functional_dataflow(ctx, func)?;
+        if self.options.enable_fusion {
+            fusion::fuse_tasks(ctx, func, &fusion::default_fusion_patterns())?;
+        }
+        let schedule = lower::lower_to_structural(ctx, func)?;
+        if self.options.enable_balancing {
+            structural_opt::eliminate_multi_producers(ctx, schedule)?;
+        }
+        if let Some(tile) = self.options.tile_size {
+            tiling::apply_tiling(
+                ctx,
+                schedule,
+                tile,
+                self.options.external_threshold_bytes,
+            );
+        }
+        if self.options.enable_balancing {
+            structural_opt::balance_data_paths(
+                ctx,
+                schedule,
+                self.options.external_threshold_bytes,
+            )?;
+        }
+        parallelize::parallelize_schedule(
+            ctx,
+            schedule,
+            self.options.max_parallel_factor,
+            self.options.mode,
+            &self.options.device,
+        )?;
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hida_estimator::dataflow::DataflowEstimator;
+    use hida_frontend::polybench::{build_kernel, PolybenchKernel};
+
+    #[test]
+    fn end_to_end_pipeline_produces_a_parallelized_schedule() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("m");
+        let func = build_kernel(&mut ctx, module, PolybenchKernel::TwoMm, 32);
+        let optimizer = HidaOptimizer::new(HidaOptions::polybench());
+        let schedule = optimizer.run(&mut ctx, func).unwrap();
+        hida_ir_core::verifier::verify(&ctx, module).unwrap();
+
+        let nodes = schedule.nodes(&ctx);
+        assert!(nodes.len() >= 2, "2mm must produce at least two dataflow nodes");
+        // Every node received unroll factors.
+        for node in &nodes {
+            let f = hida_dialects::transforms::unroll_factors_of(&ctx, node.id(), 3);
+            assert!(f.iter().product::<i64>() >= 1);
+        }
+        // The design is estimable and faster with dataflow than without.
+        let est = DataflowEstimator::new(FpgaDevice::zu3eg());
+        let with_df = est.estimate_schedule(&ctx, schedule, true);
+        let without_df = est.estimate_schedule(&ctx, schedule, false);
+        assert!(with_df.throughput() > without_df.throughput());
+    }
+
+    #[test]
+    fn parallel_mode_flags() {
+        assert!(ParallelMode::IaCa.intensity_aware() && ParallelMode::IaCa.connection_aware());
+        assert!(ParallelMode::IaOnly.intensity_aware() && !ParallelMode::IaOnly.connection_aware());
+        assert!(!ParallelMode::CaOnly.intensity_aware() && ParallelMode::CaOnly.connection_aware());
+        assert!(!ParallelMode::Naive.intensity_aware() && !ParallelMode::Naive.connection_aware());
+        assert_eq!(ParallelMode::IaCa.label(), "IA+CA");
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let opts = HidaOptions::default();
+        assert!(opts.max_parallel_factor > 1);
+        assert!(opts.enable_fusion && opts.enable_balancing);
+        assert_eq!(HidaOptions::polybench().device.name, "zu3eg");
+        assert_eq!(HidaOptions::dnn().device.name, "vu9p-slr");
+    }
+}

@@ -1,0 +1,667 @@
+//! Intensity- and connection-aware dataflow parallelization (paper §6.5).
+//!
+//! The parallelizer runs the four steps of the paper:
+//!
+//! 1. **Intensity and connection analysis** — for every pair of nodes sharing a
+//!    buffer, derive the permutation and scaling maps relating their loop nests
+//!    (Table 4), and record every node's computational intensity.
+//! 2. **Node sorting** — nodes are parallelized in descending order of connection
+//!    count, with intensity as tie-breaker.
+//! 3. **Parallel factor generation** — each node's parallel budget is proportional to
+//!    its intensity (intensity-aware) or equal to the maximum (otherwise).
+//! 4. **Node parallelization** (Algorithm 4) — a constrained design-space exploration
+//!    picks per-dimension unroll factors that respect the alignment constraints from
+//!    already-parallelized neighbours and the node's parallel budget.
+//!
+//! Finally, array partitions are assigned to every buffer from the unroll factors and
+//! access strides of the nodes touching it (Table 6).
+
+use crate::ParallelMode;
+use hida_dataflow_ir::graph::DataflowGraph;
+use hida_dataflow_ir::structural::{BufferOp, NodeOp, ScheduleOp};
+use hida_dialects::analysis::{profile_body, ComputeProfile};
+use hida_dialects::hls::{ArrayPartition, PartitionFashion};
+use hida_dialects::transforms;
+use hida_estimator::device::FpgaDevice;
+use hida_ir_core::{Context, IrResult, ValueId};
+use std::collections::HashMap;
+
+/// A connection between two nodes through a shared buffer, with the loop alignment
+/// maps of §6.5 step (1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connection {
+    /// Producing node.
+    pub source: NodeOp,
+    /// Consuming node.
+    pub target: NodeOp,
+    /// The shared buffer.
+    pub buffer: ValueId,
+    /// For each target loop: the aligned source loop, if any (paper's S-to-T map).
+    pub s_to_t_perm: Vec<Option<usize>>,
+    /// For each source loop: the aligned target loop, if any (paper's T-to-S map).
+    pub t_to_s_perm: Vec<Option<usize>>,
+    /// For each source loop: `stride_source / stride_target` of the aligned dimension.
+    pub s_to_t_scale: Vec<Option<f64>>,
+    /// For each target loop: `stride_target / stride_source` of the aligned dimension.
+    pub t_to_s_scale: Vec<Option<f64>>,
+}
+
+/// Per-node analysis record.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// The node.
+    pub node: NodeOp,
+    /// Its compute profile.
+    pub profile: ComputeProfile,
+    /// Number of distinct nodes it shares buffers with.
+    pub connections: usize,
+}
+
+/// Analyzes every producer→consumer connection of a schedule.
+pub fn analyze_connections(ctx: &Context, schedule: ScheduleOp) -> Vec<Connection> {
+    let graph = DataflowGraph::from_schedule(ctx, schedule);
+    let mut profiles: HashMap<NodeOp, ComputeProfile> = HashMap::new();
+    for node in &graph.nodes {
+        profiles.insert(*node, profile_body(ctx, node.id()));
+    }
+    let mut connections = Vec::new();
+    for edge in &graph.edges {
+        let source_profile = &profiles[&edge.producer];
+        let target_profile = &profiles[&edge.consumer];
+        // The profiles record accesses against the node's block arguments.
+        let source_access = edge
+            .producer
+            .arg_for(ctx, edge.buffer)
+            .and_then(|arg| source_profile.access_of(arg))
+            .cloned();
+        let target_access = edge
+            .consumer
+            .arg_for(ctx, edge.buffer)
+            .and_then(|arg| target_profile.access_of(arg))
+            .cloned();
+        let (source_access, target_access) = match (source_access, target_access) {
+            (Some(s), Some(t)) => (s, t),
+            _ => continue,
+        };
+        let num_source_loops = source_profile.loop_dims.len();
+        let num_target_loops = target_profile.loop_dims.len();
+        let mut s_to_t_perm = vec![None; num_target_loops];
+        let mut t_to_s_perm = vec![None; num_source_loops];
+        let mut s_to_t_scale = vec![None; num_source_loops];
+        let mut t_to_s_scale = vec![None; num_target_loops];
+        for (s_dim, t_dim) in source_access
+            .pattern
+            .dims
+            .iter()
+            .zip(target_access.pattern.dims.iter())
+        {
+            if let (Some((s_loop, s_stride)), Some((t_loop, t_stride))) = (s_dim, t_dim) {
+                if *s_loop < num_source_loops && *t_loop < num_target_loops {
+                    s_to_t_perm[*t_loop] = Some(*s_loop);
+                    t_to_s_perm[*s_loop] = Some(*t_loop);
+                    s_to_t_scale[*s_loop] = Some(*s_stride as f64 / *t_stride as f64);
+                    t_to_s_scale[*t_loop] = Some(*t_stride as f64 / *s_stride as f64);
+                }
+            }
+        }
+        connections.push(Connection {
+            source: edge.producer,
+            target: edge.consumer,
+            buffer: edge.buffer,
+            s_to_t_perm,
+            t_to_s_perm,
+            s_to_t_scale,
+            t_to_s_scale,
+        });
+    }
+    connections
+}
+
+/// Builds the per-node analysis records and returns them sorted in parallelization
+/// order (step 2: connection count descending, intensity as tie-breaker).
+pub fn analyze_nodes(ctx: &Context, schedule: ScheduleOp) -> Vec<NodeInfo> {
+    let graph = DataflowGraph::from_schedule(ctx, schedule);
+    let mut infos: Vec<NodeInfo> = schedule
+        .nodes(ctx)
+        .into_iter()
+        .map(|node| NodeInfo {
+            node,
+            profile: profile_body(ctx, node.id()),
+            connections: graph.connection_count(node),
+        })
+        .collect();
+    infos.sort_by(|a, b| {
+        b.connections
+            .cmp(&a.connections)
+            .then(b.profile.intensity.cmp(&a.profile.intensity))
+    });
+    infos
+}
+
+/// The intensity measure used for parallel-factor budgeting: the count of the
+/// dominant operation per node (MACs for compute nodes, loop iterations for pure
+/// data-movement nodes), matching the per-node "Intensity" column of Table 5.
+pub fn budget_intensity(profile: &ComputeProfile) -> i64 {
+    profile.macs.max(profile.total_iterations()).max(1)
+}
+
+/// Step 3: parallel factor per node, proportional to intensity when intensity-aware.
+pub fn node_parallel_factors(
+    infos: &[NodeInfo],
+    max_parallel_factor: i64,
+    intensity_aware: bool,
+) -> HashMap<NodeOp, i64> {
+    let max_intensity = infos
+        .iter()
+        .map(|i| budget_intensity(&i.profile))
+        .max()
+        .unwrap_or(1);
+    infos
+        .iter()
+        .map(|info| {
+            let factor = if intensity_aware {
+                let scaled = max_parallel_factor as f64 * budget_intensity(&info.profile) as f64
+                    / max_intensity as f64;
+                round_pow2(scaled).clamp(1, max_parallel_factor)
+            } else {
+                max_parallel_factor
+            };
+            (info.node, factor)
+        })
+        .collect()
+}
+
+fn round_pow2(x: f64) -> i64 {
+    if x <= 1.0 {
+        return 1;
+    }
+    let lower = 1_i64 << (x.log2().floor() as u32);
+    let upper = lower * 2;
+    if (x - lower as f64) < (upper as f64 - x) {
+        lower
+    } else {
+        upper
+    }
+}
+
+fn next_pow2(x: i64) -> i64 {
+    let mut p = 1;
+    while p < x {
+        p *= 2;
+    }
+    p
+}
+
+/// Step 4 (Algorithm 4): selects unroll factors for one node.
+///
+/// `constraints_list` holds one constraint vector per already-parallelized connected
+/// node: for each loop dimension, the factor the neighbour's parallelization implies
+/// (or `None` when the dimension is unconstrained).
+pub fn select_unroll_factors(
+    profile: &ComputeProfile,
+    parallel_factor: i64,
+    constraints_list: &[Vec<Option<i64>>],
+) -> Vec<i64> {
+    let rank = profile.loop_dims.len();
+    if rank == 0 {
+        return Vec::new();
+    }
+    // Candidate factors per dimension: powers of two up to min(trip, budget);
+    // reduction dimensions are not unrolled.
+    let mut candidates: Vec<Vec<i64>> = Vec::with_capacity(rank);
+    for dim in &profile.loop_dims {
+        if dim.reduction {
+            candidates.push(vec![1]);
+            continue;
+        }
+        let cap = next_pow2(dim.trip.max(1)).min(next_pow2(parallel_factor));
+        let mut options = Vec::new();
+        let mut f = 1;
+        while f <= cap {
+            options.push(f);
+            f *= 2;
+        }
+        candidates.push(options);
+    }
+
+    // Exhaustive enumeration with product pruning (the DSE loop of Algorithm 4).
+    let mut best: Option<(Score, Vec<i64>)> = None;
+    let mut current = vec![1_i64; rank];
+    enumerate(
+        &candidates,
+        0,
+        1,
+        parallel_factor,
+        &mut current,
+        &mut |factors| {
+            if !is_valid(factors, parallel_factor, constraints_list) {
+                return;
+            }
+            let score = score_factors(profile, factors, constraints_list);
+            if best.as_ref().map(|(b, _)| score < *b).unwrap_or(true) {
+                best = Some((score, factors.to_vec()));
+            }
+        },
+    );
+    best.map(|(_, f)| f).unwrap_or_else(|| vec![1; rank])
+}
+
+fn enumerate(
+    candidates: &[Vec<i64>],
+    dim: usize,
+    product: i64,
+    cap: i64,
+    current: &mut Vec<i64>,
+    visit: &mut dyn FnMut(&[i64]),
+) {
+    if dim == candidates.len() {
+        visit(current);
+        return;
+    }
+    for &f in &candidates[dim] {
+        if product * f > cap {
+            break;
+        }
+        current[dim] = f;
+        enumerate(candidates, dim + 1, product * f, cap, current, visit);
+    }
+    current[dim] = 1;
+}
+
+/// Validity per Algorithm 4 lines 13-18: every factor must be mutually divisible with
+/// its constraint, and the total parallelism must not exceed the parallel factor.
+fn is_valid(factors: &[i64], parallel_factor: i64, constraints_list: &[Vec<Option<i64>>]) -> bool {
+    let product: i64 = factors.iter().product();
+    if product > parallel_factor {
+        return false;
+    }
+    for constraints in constraints_list {
+        for (&factor, constraint) in factors.iter().zip(constraints) {
+            if let Some(c) = constraint {
+                let c = (*c).max(1);
+                if c % factor != 0 && factor % c != 0 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Ordering key: lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+struct Score {
+    /// Estimated iteration latency (total iterations / parallelism).
+    latency: f64,
+    /// Number of dimensions whose factor differs from an imposed constraint.
+    mismatches: f64,
+    /// Largest single-dimension factor (prefer balanced unrolling).
+    max_factor: f64,
+    /// Negative weight on later dimensions (prefer unrolling inner dimensions).
+    inner_preference: f64,
+}
+
+fn score_factors(
+    profile: &ComputeProfile,
+    factors: &[i64],
+    constraints_list: &[Vec<Option<i64>>],
+) -> Score {
+    let total_iterations: f64 = profile
+        .loop_dims
+        .iter()
+        .zip(factors)
+        .map(|(d, &f)| ((d.trip.max(1) + f - 1) / f) as f64)
+        .product();
+    let mut mismatches = 0.0;
+    for constraints in constraints_list {
+        for (&factor, constraint) in factors.iter().zip(constraints) {
+            if let Some(c) = constraint {
+                if *c != factor {
+                    mismatches += 1.0;
+                }
+            }
+        }
+    }
+    let max_factor = factors.iter().copied().max().unwrap_or(1) as f64;
+    // Prefer placing larger factors on later (inner) dimensions.
+    let inner_preference: f64 = factors
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| -((i + 1) as f64) * (f as f64).log2())
+        .sum();
+    Score {
+        latency: total_iterations,
+        mismatches,
+        max_factor,
+        inner_preference,
+    }
+}
+
+/// Runs the full parallelization (steps 1-4 plus array partitioning) over a schedule.
+///
+/// # Errors
+/// Propagates unroll application failures.
+pub fn parallelize_schedule(
+    ctx: &mut Context,
+    schedule: ScheduleOp,
+    max_parallel_factor: i64,
+    mode: ParallelMode,
+    _device: &FpgaDevice,
+) -> IrResult<()> {
+    let connections = analyze_connections(ctx, schedule);
+    let infos = analyze_nodes(ctx, schedule);
+    let budgets = node_parallel_factors(&infos, max_parallel_factor, mode.intensity_aware());
+
+    let mut chosen: HashMap<NodeOp, Vec<i64>> = HashMap::new();
+    for info in &infos {
+        let constraints_list = if mode.connection_aware() {
+            constraints_for(ctx, info, &connections, &chosen)
+        } else {
+            Vec::new()
+        };
+        let factors = if mode == ParallelMode::Naive {
+            naive_factors(&info.profile, max_parallel_factor)
+        } else {
+            select_unroll_factors(&info.profile, budgets[&info.node], &constraints_list)
+        };
+        transforms::apply_unroll_factors(ctx, info.node.id(), &factors)?;
+        ctx.op_mut(info.node.id())
+            .set_attr("parallel_factor", budgets[&info.node]);
+        ctx.op_mut(info.node.id())
+            .set_attr("intensity", info.profile.intensity);
+        ctx.op_mut(info.node.id())
+            .set_attr("connections", info.connections as i64);
+        chosen.insert(info.node, factors);
+    }
+
+    assign_array_partitions(ctx, schedule, &chosen);
+    Ok(())
+}
+
+/// The naive strategy of the Figure 11 ablation: apply the maximum parallel factor to
+/// every node, spreading it evenly over the non-reduction dimensions without any
+/// awareness of constraints or budgets.
+pub fn naive_factors(profile: &ComputeProfile, max_parallel_factor: i64) -> Vec<i64> {
+    select_unroll_factors(profile, max_parallel_factor, &[])
+}
+
+/// Builds the constraint vectors for `info` from the connections to nodes that were
+/// already parallelized (Algorithm 4 lines 2-8).
+fn constraints_for(
+    _ctx: &Context,
+    info: &NodeInfo,
+    connections: &[Connection],
+    chosen: &HashMap<NodeOp, Vec<i64>>,
+) -> Vec<Vec<Option<i64>>> {
+    let rank = info.profile.loop_dims.len();
+    let mut list = Vec::new();
+    for connection in connections {
+        // Peer already parallelized, `info.node` is the other endpoint.
+        if connection.target == info.node {
+            if let Some(peer_factors) = chosen.get(&connection.source) {
+                let mut constraints = vec![None; rank];
+                for (source_loop, &target_loop) in connection.t_to_s_perm.iter().enumerate() {
+                    if let (Some(target_loop), Some(scale)) =
+                        (target_loop, connection.s_to_t_scale[source_loop])
+                    {
+                        if target_loop < rank && source_loop < peer_factors.len() {
+                            let value = (peer_factors[source_loop] as f64 * scale).round() as i64;
+                            constraints[target_loop] = Some(value.max(1));
+                        }
+                    }
+                }
+                list.push(constraints);
+            }
+        } else if connection.source == info.node {
+            if let Some(peer_factors) = chosen.get(&connection.target) {
+                let mut constraints = vec![None; rank];
+                for (target_loop, &source_loop) in connection.s_to_t_perm.iter().enumerate() {
+                    if let (Some(source_loop), Some(scale)) =
+                        (source_loop, connection.t_to_s_scale[target_loop])
+                    {
+                        if source_loop < rank && target_loop < peer_factors.len() {
+                            let value = (peer_factors[target_loop] as f64 * scale).round() as i64;
+                            constraints[source_loop] = Some(value.max(1));
+                        }
+                    }
+                }
+                list.push(constraints);
+            }
+        }
+    }
+    list
+}
+
+/// Assigns array partitions to every internal buffer of the schedule from the chosen
+/// unroll factors and the access strides of the nodes touching it.
+pub fn assign_array_partitions(
+    ctx: &mut Context,
+    schedule: ScheduleOp,
+    chosen: &HashMap<NodeOp, Vec<i64>>,
+) {
+    let buffers = schedule.internal_buffers(ctx);
+    for buffer in buffers {
+        let value = buffer.value(ctx);
+        let rank = buffer.shape(ctx).len();
+        if rank == 0 {
+            continue;
+        }
+        let mut factors = vec![1_i64; rank];
+        let mut strided = vec![false; rank];
+        for node in schedule.nodes(ctx) {
+            let unroll = match chosen.get(&node) {
+                Some(u) => u.clone(),
+                None => continue,
+            };
+            let profile = profile_body(ctx, node.id());
+            let access = node
+                .arg_for(ctx, value)
+                .and_then(|arg| profile.access_of(arg).cloned());
+            if let Some(access) = access {
+                for (dim, pattern) in access.pattern.dims.iter().enumerate() {
+                    if let Some((loop_idx, stride)) = pattern {
+                        let u = unroll.get(*loop_idx).copied().unwrap_or(1).max(1);
+                        let requirement = next_pow2(u * stride.abs().max(1));
+                        if dim < rank {
+                            factors[dim] = factors[dim].max(requirement);
+                            if stride.abs() > 1 {
+                                strided[dim] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Clamp to the dimension size and build the partition directive.
+        let shape = buffer.shape(ctx);
+        let fashions: Vec<PartitionFashion> = factors
+            .iter()
+            .zip(&strided)
+            .map(|(&f, &s)| {
+                if f <= 1 {
+                    PartitionFashion::None
+                } else if s {
+                    PartitionFashion::Block
+                } else {
+                    PartitionFashion::Cyclic
+                }
+            })
+            .collect();
+        let factors: Vec<i64> = factors
+            .iter()
+            .zip(&shape)
+            .map(|(&f, &s)| f.clamp(1, s.max(1)))
+            .collect();
+        buffer.set_partition(&mut *ctx, &ArrayPartition { fashions, factors });
+    }
+}
+
+/// Returns the partition assigned to a buffer (test/report helper).
+pub fn partition_of(ctx: &Context, buffer: BufferOp) -> ArrayPartition {
+    buffer.partition(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::construct_functional_dataflow;
+    use crate::lower::lower_to_structural;
+    use hida_frontend::listing1::build_listing1;
+
+    /// Lowers Listing 1 to a structural schedule and returns its pieces.
+    fn listing1_schedule() -> (Context, ScheduleOp) {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("m");
+        let l1 = build_listing1(&mut ctx, module);
+        construct_functional_dataflow(&mut ctx, l1.func).unwrap();
+        let schedule = lower_to_structural(&mut ctx, l1.func).unwrap();
+        hida_ir_core::verifier::verify(&ctx, module).unwrap();
+        (ctx, schedule)
+    }
+
+    fn node_by_name(ctx: &Context, schedule: ScheduleOp, name_part: &str) -> NodeOp {
+        schedule
+            .nodes(ctx)
+            .into_iter()
+            .find(|n| n.name(ctx).contains(name_part))
+            .unwrap_or_else(|| panic!("no node containing '{name_part}'"))
+    }
+
+    #[test]
+    fn connections_reproduce_table4_maps() {
+        let (ctx, schedule) = listing1_schedule();
+        let connections = analyze_connections(&ctx, schedule);
+        assert_eq!(connections.len(), 2, "A and B each connect two nodes");
+
+        // The Node0 -> Node2 connection through array A.
+        let node2 = node_by_name(&ctx, schedule, "task2");
+        let a_conn = connections
+            .iter()
+            .find(|c| c.target == node2 && c.s_to_t_perm.iter().filter(|p| p.is_some()).count() == 2 && c.s_to_t_scale.contains(&Some(0.5)))
+            .expect("connection through A");
+        // Permutation maps of Table 4.
+        assert_eq!(a_conn.s_to_t_perm, vec![Some(0), None, Some(1)]);
+        assert_eq!(a_conn.t_to_s_perm, vec![Some(0), Some(2)]);
+        assert_eq!(a_conn.s_to_t_scale, vec![Some(0.5), Some(1.0)]);
+        assert_eq!(a_conn.t_to_s_scale, vec![Some(2.0), None, Some(1.0)]);
+
+        // The Node1 -> Node2 connection through array B.
+        let b_conn = connections.iter().find(|c| *c != a_conn).unwrap();
+        assert_eq!(b_conn.s_to_t_perm, vec![None, Some(1), Some(0)]);
+        assert_eq!(b_conn.t_to_s_perm, vec![Some(2), Some(1)]);
+        assert_eq!(b_conn.s_to_t_scale, vec![Some(1.0), Some(1.0)]);
+        assert_eq!(b_conn.t_to_s_scale, vec![None, Some(1.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn node_ordering_and_parallel_factors_match_table5() {
+        let (ctx, schedule) = listing1_schedule();
+        let infos = analyze_nodes(&ctx, schedule);
+        // Node2 (two connections, highest intensity) is parallelized first.
+        assert!(infos[0].node.name(&ctx).contains("task2"));
+        assert_eq!(infos[0].connections, 2);
+
+        // Intensity-aware parallel factors with a maximum of 32 (Table 5):
+        // Node2 -> 32, Node0 -> 4, Node1 -> 2.
+        let budgets = node_parallel_factors(&infos, 32, true);
+        let node0 = node_by_name(&ctx, schedule, "task0");
+        let node1 = node_by_name(&ctx, schedule, "task1");
+        let node2 = node_by_name(&ctx, schedule, "task2");
+        assert_eq!(budgets[&node2], 32);
+        assert!(budgets[&node0] <= 8 && budgets[&node0] >= 2);
+        assert!(budgets[&node1] <= budgets[&node0]);
+        // Without intensity awareness every node receives the maximum.
+        let uniform = node_parallel_factors(&infos, 32, false);
+        assert!(uniform.values().all(|&f| f == 32));
+    }
+
+    #[test]
+    fn ia_ca_unroll_factors_align_with_connections() {
+        let (mut ctx, schedule) = listing1_schedule();
+        parallelize_schedule(
+            &mut ctx,
+            schedule,
+            32,
+            ParallelMode::IaCa,
+            &FpgaDevice::pynq_z2(),
+        )
+        .unwrap();
+        let node0 = node_by_name(&ctx, schedule, "task0");
+        let node2 = node_by_name(&ctx, schedule, "task2");
+        let f0 = transforms::unroll_factors_of(&ctx, node0.id(), 2);
+        let f2 = transforms::unroll_factors_of(&ctx, node2.id(), 3);
+        // Node2 gets the full budget of 32 spread over its non-reduction dims; the k
+        // dimension (reduction) stays 1.
+        assert_eq!(f2.iter().product::<i64>(), 32);
+        assert_eq!(f2[2], 1);
+        // Node0's budget is ~4 and its factors respect the A-array alignment:
+        // its i factor must be mutually divisible with 2x Node2's i factor.
+        assert!(f0.iter().product::<i64>() <= 8);
+        let constraint = 2 * f2[0];
+        assert!(constraint % f0[0] == 0 || f0[0] % constraint == 0);
+    }
+
+    #[test]
+    fn array_partitions_shrink_with_ia_ca_as_in_table6() {
+        let total_banks = |mode: ParallelMode| -> i64 {
+            let (mut ctx, schedule) = listing1_schedule();
+            parallelize_schedule(&mut ctx, schedule, 32, mode, &FpgaDevice::pynq_z2()).unwrap();
+            schedule
+                .internal_buffers(&ctx)
+                .iter()
+                .map(|b| b.partition(&ctx).bank_count())
+                .sum()
+        };
+        let ia_ca = total_banks(ParallelMode::IaCa);
+        let ia = total_banks(ParallelMode::IaOnly);
+        let ca = total_banks(ParallelMode::CaOnly);
+        let naive = total_banks(ParallelMode::Naive);
+        // Table 6 trend: IA+CA uses the fewest banks, Naive the most.
+        assert!(ia_ca <= ia, "IA+CA ({ia_ca}) must not exceed IA ({ia})");
+        assert!(ia_ca <= ca, "IA+CA ({ia_ca}) must not exceed CA ({ca})");
+        assert!(ia_ca < naive, "IA+CA ({ia_ca}) must beat Naive ({naive})");
+        assert!(naive >= ca.max(ia));
+    }
+
+    #[test]
+    fn select_unroll_factors_respects_constraints_and_budget() {
+        use hida_dialects::analysis::ProfileLoopDim;
+        let profile = ComputeProfile {
+            loop_dims: vec![
+                ProfileLoopDim { name: "i".into(), trip: 32, reduction: false },
+                ProfileLoopDim { name: "k".into(), trip: 16, reduction: false },
+            ],
+            ..ComputeProfile::default()
+        };
+        // Without constraints and a budget of 4 the factors are balanced.
+        let balanced = select_unroll_factors(&profile, 4, &[]);
+        assert_eq!(balanced.iter().product::<i64>(), 4);
+        assert_eq!(balanced, vec![2, 2]);
+        // With an [8, 1] constraint (the Table 5 situation) the i dimension absorbs
+        // the whole budget.
+        let constrained = select_unroll_factors(&profile, 4, &[vec![Some(8), Some(1)]]);
+        assert_eq!(constrained, vec![4, 1]);
+        // Reduction dimensions are never unrolled.
+        let with_reduction = ComputeProfile {
+            loop_dims: vec![
+                ProfileLoopDim { name: "i".into(), trip: 16, reduction: false },
+                ProfileLoopDim { name: "k".into(), trip: 16, reduction: true },
+            ],
+            ..ComputeProfile::default()
+        };
+        let factors = select_unroll_factors(&with_reduction, 8, &[]);
+        assert_eq!(factors[1], 1);
+        assert_eq!(factors[0], 8);
+    }
+
+    #[test]
+    fn round_pow2_behaviour() {
+        assert_eq!(round_pow2(0.5), 1);
+        assert_eq!(round_pow2(3.0), 4);
+        assert_eq!(round_pow2(4.0), 4);
+        assert_eq!(round_pow2(5.9), 4);
+        assert_eq!(round_pow2(6.1), 8);
+        assert_eq!(next_pow2(17), 32);
+        assert_eq!(next_pow2(1), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Compile-time attribute values attached to operations.
+//!
+//! Attributes model values that are "known and fixed at compile time" (paper §3.1):
+//! parallel factors, partition fashions, tile sizes, memory placements, symbol names
+//! and so on. They are stored in an ordered map on each [`Operation`] so printing is
+//! deterministic.
+//!
+//! [`Operation`]: crate::Operation
+
+use crate::types::Type;
+use std::fmt;
+
+/// A compile-time constant attached to an operation under a string key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// Unit attribute — presence alone carries meaning (e.g. `pipeline`).
+    Unit,
+    /// Boolean flag.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (symbol names, fashion names, ...).
+    Str(String),
+    /// Homogeneous list of integers (factors, shapes, maps).
+    IntArray(Vec<i64>),
+    /// Homogeneous list of floats (scaling maps).
+    FloatArray(Vec<f64>),
+    /// List of strings (partition fashions per dimension, argument names).
+    StrArray(Vec<String>),
+    /// Nested attribute list.
+    Array(Vec<Attribute>),
+    /// A type used as an attribute value (e.g. function signatures).
+    TypeAttr(Type),
+}
+
+impl Attribute {
+    /// Returns the integer payload if this is an [`Attribute::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is an [`Attribute::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v) => Some(*v),
+            Attribute::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is an [`Attribute::Bool`] or [`Attribute::Unit`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(v) => Some(*v),
+            Attribute::Unit => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is an [`Attribute::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer-array payload if this is an [`Attribute::IntArray`].
+    pub fn as_int_array(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::IntArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float-array payload if this is an [`Attribute::FloatArray`].
+    pub fn as_float_array(&self) -> Option<&[f64]> {
+        match self {
+            Attribute::FloatArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string-array payload if this is an [`Attribute::StrArray`].
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Attribute::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the type payload if this is an [`Attribute::TypeAttr`].
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::TypeAttr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Attribute {
+    fn from(v: i64) -> Self {
+        Attribute::Int(v)
+    }
+}
+
+impl From<bool> for Attribute {
+    fn from(v: bool) -> Self {
+        Attribute::Bool(v)
+    }
+}
+
+impl From<f64> for Attribute {
+    fn from(v: f64) -> Self {
+        Attribute::Float(v)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(v: &str) -> Self {
+        Attribute::Str(v.to_string())
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(v: String) -> Self {
+        Attribute::Str(v)
+    }
+}
+
+impl From<Vec<i64>> for Attribute {
+    fn from(v: Vec<i64>) -> Self {
+        Attribute::IntArray(v)
+    }
+}
+
+impl From<Vec<f64>> for Attribute {
+    fn from(v: Vec<f64>) -> Self {
+        Attribute::FloatArray(v)
+    }
+}
+
+impl From<Type> for Attribute {
+    fn from(v: Type) -> Self {
+        Attribute::TypeAttr(v)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => write!(f, "unit"),
+            Attribute::Bool(v) => write!(f, "{v}"),
+            Attribute::Int(v) => write!(f, "{v}"),
+            Attribute::Float(v) => write!(f, "{v}"),
+            Attribute::Str(s) => write!(f, "\"{s}\""),
+            Attribute::IntArray(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::FloatArray(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::StrArray(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "\"{x}\"")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::Array(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::TypeAttr(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Attribute::Int(3).as_int(), Some(3));
+        assert_eq!(Attribute::Int(3).as_float(), Some(3.0));
+        assert_eq!(Attribute::Float(0.5).as_float(), Some(0.5));
+        assert_eq!(Attribute::Bool(true).as_bool(), Some(true));
+        assert_eq!(Attribute::Unit.as_bool(), Some(true));
+        assert_eq!(Attribute::Str("bram".into()).as_str(), Some("bram"));
+        assert_eq!(
+            Attribute::IntArray(vec![4, 4]).as_int_array(),
+            Some(&[4_i64, 4][..])
+        );
+        assert_eq!(Attribute::Int(3).as_str(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Attribute::from(7_i64), Attribute::Int(7));
+        assert_eq!(Attribute::from(true), Attribute::Bool(true));
+        assert_eq!(Attribute::from("cyclic"), Attribute::Str("cyclic".into()));
+        assert_eq!(Attribute::from(vec![1_i64, 2]), Attribute::IntArray(vec![1, 2]));
+        assert_eq!(Attribute::from(Type::i8()), Attribute::TypeAttr(Type::i8()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Attribute::Int(5).to_string(), "5");
+        assert_eq!(Attribute::IntArray(vec![1, 2, 3]).to_string(), "[1, 2, 3]");
+        assert_eq!(
+            Attribute::StrArray(vec!["cyclic".into(), "block".into()]).to_string(),
+            "[\"cyclic\", \"block\"]"
+        );
+        assert_eq!(Attribute::Str("x".into()).to_string(), "\"x\"");
+    }
+}

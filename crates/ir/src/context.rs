@@ -1,0 +1,795 @@
+//! The [`Context`]: arena owner of all IR entities and home of structural mutation.
+//!
+//! All operations, blocks, regions and values live in flat arenas indexed by the ids
+//! from [`crate::ids`]. Every structural mutation (operand changes, op movement,
+//! erasure, cloning) goes through the context so SSA use lists and parent links stay
+//! consistent — the invariants HIDA-OPT relies on when it rewrites dataflow graphs.
+
+use crate::attributes::Attribute;
+use crate::entities::{Block, Region, Value, ValueDef};
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::operation::{OpName, Operation};
+use crate::op_names;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Arena owner of the IR. See the [module documentation](self) for an overview.
+#[derive(Debug, Default)]
+pub struct Context {
+    ops: Vec<Operation>,
+    blocks: Vec<Block>,
+    regions: Vec<Region>,
+    values: Vec<Value>,
+    /// Liveness flag per op (erased ops keep their slot but are marked dead).
+    op_alive: Vec<bool>,
+    /// Use list: value -> operations currently using it as an operand.
+    uses: HashMap<ValueId, Vec<OpId>>,
+}
+
+/// A mapping from old values to new values used while cloning IR.
+#[derive(Debug, Default, Clone)]
+pub struct ValueMapping {
+    map: HashMap<ValueId, ValueId>,
+}
+
+impl ValueMapping {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `old -> new`.
+    pub fn map(&mut self, old: ValueId, new: ValueId) {
+        self.map.insert(old, new);
+    }
+
+    /// Looks up a value, returning the original when no mapping exists.
+    pub fn lookup(&self, v: ValueId) -> ValueId {
+        *self.map.get(&v).unwrap_or(&v)
+    }
+
+    /// Returns true if `v` has an explicit mapping.
+    pub fn contains(&self, v: ValueId) -> bool {
+        self.map.contains_key(&v)
+    }
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Returns the operation payload for `id`.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this context.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Returns a mutable reference to the operation payload for `id`.
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        &mut self.ops[id.index()]
+    }
+
+    /// Returns the block payload for `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Returns a mutable reference to the block payload for `id`.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Returns the region payload for `id`.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Returns a mutable reference to the region payload for `id`.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        &mut self.regions[id.index()]
+    }
+
+    /// Returns the value payload for `id`.
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Returns the type of value `id`.
+    pub fn value_type(&self, id: ValueId) -> &Type {
+        &self.values[id.index()].ty
+    }
+
+    /// Returns true when the op has not been erased.
+    pub fn is_alive(&self, id: OpId) -> bool {
+        self.op_alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Total number of live operations (for statistics and tests).
+    pub fn num_live_ops(&self) -> usize {
+        self.op_alive.iter().filter(|&&a| a).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Creation
+    // ------------------------------------------------------------------
+
+    /// Allocates a new operation from a detached [`Operation`] payload and registers
+    /// the uses of its operands. The operation is not attached to any block yet.
+    pub fn create_op(&mut self, op: Operation) -> OpId {
+        let id = OpId::from_index(self.ops.len());
+        for &operand in &op.operands {
+            self.uses.entry(operand).or_default().push(id);
+        }
+        self.ops.push(op);
+        self.op_alive.push(true);
+        id
+    }
+
+    /// Creates a fresh empty region owned by `parent`.
+    pub fn create_region(&mut self, parent: OpId) -> RegionId {
+        let id = RegionId::from_index(self.regions.len());
+        self.regions.push(Region {
+            blocks: Vec::new(),
+            parent_op: Some(parent),
+        });
+        self.ops[parent.index()].regions.push(id);
+        id
+    }
+
+    /// Creates a fresh empty block appended to `region`.
+    pub fn create_block(&mut self, region: RegionId) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(Block {
+            args: Vec::new(),
+            ops: Vec::new(),
+            parent_region: Some(region),
+        });
+        self.regions[region.index()].blocks.push(id);
+        id
+    }
+
+    /// Appends a new result of type `ty` to operation `op` and returns its value id.
+    pub fn add_result(&mut self, op: OpId, ty: Type) -> ValueId {
+        let index = self.ops[op.index()].results.len();
+        let vid = ValueId::from_index(self.values.len());
+        self.values.push(Value {
+            def: ValueDef::OpResult { op, index },
+            ty,
+            name_hint: None,
+        });
+        self.ops[op.index()].results.push(vid);
+        vid
+    }
+
+    /// Appends a new argument of type `ty` to block `block` and returns its value id.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let index = self.blocks[block.index()].args.len();
+        let vid = ValueId::from_index(self.values.len());
+        self.values.push(Value {
+            def: ValueDef::BlockArg { block, index },
+            ty,
+            name_hint: None,
+        });
+        self.blocks[block.index()].args.push(vid);
+        vid
+    }
+
+    /// Sets the printer name hint of a value.
+    pub fn set_name_hint(&mut self, value: ValueId, hint: impl Into<String>) {
+        self.values[value.index()].name_hint = Some(hint.into());
+    }
+
+    /// Convenience: creates a `builtin.module` op with one region and one entry block.
+    pub fn create_module(&mut self, name: &str) -> OpId {
+        let mut op = Operation::new(op_names::MODULE);
+        op.isolated = true;
+        op.set_attr("sym_name", name);
+        let id = self.create_op(op);
+        let region = self.create_region(id);
+        self.create_block(region);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Attachment / movement
+    // ------------------------------------------------------------------
+
+    /// Appends `op` at the end of `block`.
+    pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        debug_assert!(self.ops[op.index()].parent_block.is_none());
+        self.blocks[block.index()].ops.push(op);
+        self.ops[op.index()].parent_block = Some(block);
+    }
+
+    /// Inserts `op` into `block` at position `index`.
+    pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
+        debug_assert!(self.ops[op.index()].parent_block.is_none());
+        let ops = &mut self.blocks[block.index()].ops;
+        let index = index.min(ops.len());
+        ops.insert(index, op);
+        self.ops[op.index()].parent_block = Some(block);
+    }
+
+    /// Detaches `op` from its parent block (the op stays alive).
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(block) = self.ops[op.index()].parent_block.take() {
+            let ops = &mut self.blocks[block.index()].ops;
+            if let Some(pos) = ops.iter().position(|&o| o == op) {
+                ops.remove(pos);
+            }
+        }
+    }
+
+    /// Moves `op` so that it immediately precedes `before` within `before`'s block.
+    pub fn move_op_before(&mut self, op: OpId, before: OpId) {
+        self.detach_op(op);
+        let block = self.ops[before.index()]
+            .parent_block
+            .expect("move target must be attached");
+        let pos = self.blocks[block.index()]
+            .position_of(before)
+            .expect("target block must contain the anchor op");
+        self.insert_op(block, pos, op);
+    }
+
+    /// Moves `op` so that it immediately follows `after` within `after`'s block.
+    pub fn move_op_after(&mut self, op: OpId, after: OpId) {
+        self.detach_op(op);
+        let block = self.ops[after.index()]
+            .parent_block
+            .expect("move target must be attached");
+        let pos = self.blocks[block.index()]
+            .position_of(after)
+            .expect("target block must contain the anchor op");
+        self.insert_op(block, pos + 1, op);
+    }
+
+    /// Moves `op` to the end of `block`.
+    pub fn move_op_to_end(&mut self, op: OpId, block: BlockId) {
+        self.detach_op(op);
+        self.append_op(block, op);
+    }
+
+    // ------------------------------------------------------------------
+    // Operands and uses
+    // ------------------------------------------------------------------
+
+    /// Appends `value` as a new operand of `op`.
+    pub fn add_operand(&mut self, op: OpId, value: ValueId) {
+        self.ops[op.index()].operands.push(value);
+        self.uses.entry(value).or_default().push(op);
+    }
+
+    /// Replaces operand `index` of `op` with `value`, keeping use lists consistent.
+    pub fn set_operand(&mut self, op: OpId, index: usize, value: ValueId) {
+        let old = self.ops[op.index()].operands[index];
+        if old == value {
+            return;
+        }
+        self.ops[op.index()].operands[index] = value;
+        self.remove_use(old, op);
+        self.uses.entry(value).or_default().push(op);
+    }
+
+    /// Removes all operands of `op`, updating the use lists.
+    pub fn clear_operands(&mut self, op: OpId) {
+        let operands = std::mem::take(&mut self.ops[op.index()].operands);
+        for v in operands {
+            self.remove_use(v, op);
+        }
+    }
+
+    fn remove_use(&mut self, value: ValueId, user: OpId) {
+        if let Some(list) = self.uses.get_mut(&value) {
+            if let Some(pos) = list.iter().position(|&o| o == user) {
+                list.remove(pos);
+            }
+        }
+    }
+
+    /// Returns the (deduplicated) list of live operations that use `value` as an
+    /// operand, in arena order.
+    pub fn users_of(&self, value: ValueId) -> Vec<OpId> {
+        let mut users: Vec<OpId> = self
+            .uses
+            .get(&value)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&o| self.is_alive(o))
+            .collect();
+        users.sort();
+        users.dedup();
+        users
+    }
+
+    /// Returns true if `value` has at least one live user.
+    pub fn has_users(&self, value: ValueId) -> bool {
+        !self.users_of(value).is_empty()
+    }
+
+    /// Replaces every use of `old` with `new` across the whole context.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        if old == new {
+            return;
+        }
+        let users = self.users_of(old);
+        for user in users {
+            self.replace_uses_in_op(user, old, new);
+        }
+    }
+
+    /// Replaces uses of `old` with `new` in the operand list of a single operation.
+    pub fn replace_uses_in_op(&mut self, op: OpId, old: ValueId, new: ValueId) {
+        let positions: Vec<usize> = self.ops[op.index()]
+            .operands
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == old)
+            .map(|(i, _)| i)
+            .collect();
+        for pos in positions {
+            self.set_operand(op, pos, new);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy queries
+    // ------------------------------------------------------------------
+
+    /// Returns the operation owning the block that contains `op`, if attached.
+    pub fn parent_op(&self, op: OpId) -> Option<OpId> {
+        let block = self.ops[op.index()].parent_block?;
+        let region = self.blocks[block.index()].parent_region?;
+        self.regions[region.index()].parent_op
+    }
+
+    /// Returns the chain of ancestor operations of `op`, nearest first.
+    pub fn ancestors(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut cur = op;
+        while let Some(parent) = self.parent_op(cur) {
+            out.push(parent);
+            cur = parent;
+        }
+        out
+    }
+
+    /// Returns true if `ancestor` is `op` itself or a (transitive) parent of `op`.
+    pub fn is_ancestor(&self, ancestor: OpId, op: OpId) -> bool {
+        ancestor == op || self.ancestors(op).contains(&ancestor)
+    }
+
+    /// Returns the entry block of region `region`.
+    ///
+    /// # Panics
+    /// Panics if the region has no blocks.
+    pub fn entry_block(&self, region: RegionId) -> BlockId {
+        self.regions[region.index()]
+            .entry()
+            .expect("region has no entry block")
+    }
+
+    /// Returns the entry block of the first region of `op`.
+    ///
+    /// # Panics
+    /// Panics if the op has no region or the region has no block.
+    pub fn body_block(&self, op: OpId) -> BlockId {
+        let region = self.ops[op.index()].regions[0];
+        self.entry_block(region)
+    }
+
+    /// Returns all operations directly nested in the first region of `op`
+    /// (its body block), in program order.
+    pub fn body_ops(&self, op: OpId) -> Vec<OpId> {
+        if self.ops[op.index()].regions.is_empty() {
+            return Vec::new();
+        }
+        let block = self.body_block(op);
+        self.blocks[block.index()].ops.clone()
+    }
+
+    /// Finds the first op with the given name directly nested in `op`'s body.
+    pub fn find_in_body(&self, op: OpId, name: &str) -> Option<OpId> {
+        self.body_ops(op).into_iter().find(|&o| self.op(o).is(name))
+    }
+
+    /// Collects every op (at any nesting depth below `root`, excluding `root`) whose
+    /// name equals `name`, in pre-order.
+    pub fn collect_ops(&self, root: OpId, name: &str) -> Vec<OpId> {
+        let mut out = Vec::new();
+        crate::walk::walk_ops_preorder(self, root, &mut |ctx, op| {
+            if op != root && ctx.op(op).is(name) {
+                out.push(op);
+            }
+        });
+        out
+    }
+
+    /// Returns true if operation `a` dominates operation `b` under region-based SSA
+    /// dominance (single-block regions): `a` dominates `b` when `a == b`, or when the
+    /// ancestor of `b` sharing `a`'s block appears after `a` in that block.
+    pub fn dominates(&self, a: OpId, b: OpId) -> bool {
+        if a == b {
+            return true;
+        }
+        let a_block = match self.ops[a.index()].parent_block {
+            Some(bl) => bl,
+            None => return false,
+        };
+        // Climb b's ancestor chain (including b) until we find an op in a's block.
+        let mut cur = b;
+        loop {
+            match self.ops[cur.index()].parent_block {
+                Some(bl) if bl == a_block => {
+                    let pos_a = self.blocks[bl.index()].position_of(a);
+                    let pos_c = self.blocks[bl.index()].position_of(cur);
+                    return match (pos_a, pos_c) {
+                        (Some(pa), Some(pc)) => pa < pc || cur == a,
+                        _ => false,
+                    };
+                }
+                _ => match self.parent_op(cur) {
+                    Some(parent) => cur = parent,
+                    None => return false,
+                },
+            }
+        }
+    }
+
+    /// Returns true if `value` is defined outside the body of `op` (i.e. it is a
+    /// live-in of `op`'s regions). Values defined by `op` itself count as live-ins.
+    pub fn is_live_in(&self, op: OpId, value: ValueId) -> bool {
+        match self.values[value.index()].def {
+            ValueDef::OpResult { op: def_op, .. } => {
+                !self.is_ancestor(op, def_op) || def_op == op
+            }
+            ValueDef::BlockArg { block, .. } => {
+                let owner = self.blocks[block.index()]
+                    .parent_region
+                    .and_then(|r| self.regions[r.index()].parent_op);
+                match owner {
+                    // Block args of `op`'s own regions (or regions nested below it)
+                    // are defined inside `op`, hence not live-ins.
+                    Some(owner_op) => !self.is_ancestor(op, owner_op),
+                    None => true,
+                }
+            }
+        }
+    }
+
+    /// Collects the live-in values of `op`: values used (transitively, at any depth)
+    /// inside `op`'s regions but defined outside of them. Order is first-use order.
+    pub fn live_ins(&self, op: OpId) -> Vec<ValueId> {
+        let mut seen = Vec::new();
+        crate::walk::walk_ops_preorder(self, op, &mut |ctx, inner| {
+            if inner == op {
+                return;
+            }
+            for &operand in &ctx.op(inner).operands {
+                if ctx.is_live_in(op, operand) && !seen.contains(&operand) {
+                    seen.push(operand);
+                }
+            }
+        });
+        seen
+    }
+
+    // ------------------------------------------------------------------
+    // Erasure
+    // ------------------------------------------------------------------
+
+    /// Erases `op`, its results' use records, and everything nested inside it.
+    ///
+    /// The caller is responsible for ensuring the results of `op` are no longer used
+    /// (the verifier will flag dangling uses otherwise).
+    pub fn erase_op(&mut self, op: OpId) {
+        if !self.is_alive(op) {
+            return;
+        }
+        self.detach_op(op);
+        // Recursively erase nested ops first.
+        let regions = self.ops[op.index()].regions.clone();
+        for region in regions {
+            let blocks = self.regions[region.index()].blocks.clone();
+            for block in blocks {
+                let ops = self.blocks[block.index()].ops.clone();
+                for nested in ops {
+                    self.erase_op(nested);
+                }
+                self.blocks[block.index()].ops.clear();
+            }
+        }
+        self.clear_operands(op);
+        self.op_alive[op.index()] = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Cloning
+    // ------------------------------------------------------------------
+
+    /// Deep-clones `op` (including nested regions), remapping operands through
+    /// `mapping`. Results of cloned ops are registered into `mapping` so later uses
+    /// inside the cloned subtree resolve to the clones. Returns the new op id.
+    ///
+    /// The clone is created detached; attach it with [`Context::append_op`] or one of
+    /// the movement helpers.
+    pub fn clone_op(&mut self, op: OpId, mapping: &mut ValueMapping) -> OpId {
+        let src = self.ops[op.index()].clone();
+        let mut new_op = Operation::new(src.name.clone());
+        new_op.attributes = src.attributes.clone();
+        new_op.isolated = src.isolated;
+        new_op.operands = src.operands.iter().map(|&v| mapping.lookup(v)).collect();
+        let new_id = self.create_op(new_op);
+        // Results.
+        for &res in &src.results {
+            let ty = self.values[res.index()].ty.clone();
+            let new_res = self.add_result(new_id, ty);
+            if let Some(hint) = self.values[res.index()].name_hint.clone() {
+                self.set_name_hint(new_res, hint);
+            }
+            mapping.map(res, new_res);
+        }
+        // Regions.
+        for region in src.regions {
+            let new_region = self.create_region(new_id);
+            let blocks = self.regions[region.index()].blocks.clone();
+            for block in blocks {
+                let new_block = self.create_block(new_region);
+                let args = self.blocks[block.index()].args.clone();
+                for arg in args {
+                    let ty = self.values[arg.index()].ty.clone();
+                    let new_arg = self.add_block_arg(new_block, ty);
+                    mapping.map(arg, new_arg);
+                }
+                let ops = self.blocks[block.index()].ops.clone();
+                for nested in ops {
+                    let cloned = self.clone_op(nested, mapping);
+                    self.append_op(new_block, cloned);
+                }
+            }
+        }
+        new_id
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience creation helpers used pervasively by dialects
+    // ------------------------------------------------------------------
+
+    /// Creates and appends an op in a single step.
+    pub fn build_op(
+        &mut self,
+        block: BlockId,
+        name: impl Into<OpName>,
+        operands: Vec<ValueId>,
+        result_types: Vec<Type>,
+        attrs: Vec<(&str, Attribute)>,
+    ) -> (OpId, Vec<ValueId>) {
+        let mut op = Operation::new(name);
+        op.operands = operands;
+        for (k, v) in attrs {
+            op.set_attr(k, v);
+        }
+        let id = self.create_op(op);
+        let results: Vec<ValueId> = result_types
+            .into_iter()
+            .map(|ty| self.add_result(id, ty))
+            .collect();
+        self.append_op(block, id);
+        (id, results)
+    }
+
+    /// Validates that the entity ids stored in the context are internally consistent;
+    /// used by tests and the verifier.
+    pub fn check_parent_links(&self) -> IrResult<()> {
+        for (i, block) in self.blocks.iter().enumerate() {
+            for &op in &block.ops {
+                if self.ops[op.index()].parent_block != Some(BlockId::from_index(i)) {
+                    return Err(IrError::verification(format!(
+                        "op {op} is listed in block bb{i} but has a different parent link"
+                    )));
+                }
+            }
+        }
+        for (i, region) in self.regions.iter().enumerate() {
+            for &block in &region.blocks {
+                if self.blocks[block.index()].parent_region != Some(RegionId::from_index(i)) {
+                    return Err(IrError::verification(format!(
+                        "block {block} is listed in region{i} but has a different parent link"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+
+    fn simple_module(ctx: &mut Context) -> (OpId, OpId, ValueId, ValueId) {
+        let module = ctx.create_module("m");
+        let func = OpBuilder::at_end_of(ctx, module).create_func("f", vec![], vec![]);
+        let mut b = OpBuilder::at_end_of(ctx, func);
+        let c0 = b.create_constant_int(0, Type::i32());
+        let c1 = b.create_constant_int(1, Type::i32());
+        (module, func, c0, c1)
+    }
+
+    #[test]
+    fn create_and_query_structure() {
+        let mut ctx = Context::new();
+        let (module, func, c0, _c1) = simple_module(&mut ctx);
+        assert_eq!(ctx.parent_op(func), Some(module));
+        let c0_op = ctx.value(c0).defining_op().unwrap();
+        assert_eq!(ctx.parent_op(c0_op), Some(func));
+        assert!(ctx.is_ancestor(module, c0_op));
+        assert!(!ctx.is_ancestor(c0_op, module));
+        assert!(ctx.check_parent_links().is_ok());
+        assert_eq!(ctx.body_ops(func).len(), 2);
+    }
+
+    #[test]
+    fn use_lists_and_rauw() {
+        let mut ctx = Context::new();
+        let (_, func, c0, c1) = simple_module(&mut ctx);
+        let body = ctx.body_block(func);
+        let (add, results) = ctx.build_op(
+            body,
+            "arith.addi",
+            vec![c0, c0],
+            vec![Type::i32()],
+            vec![],
+        );
+        assert_eq!(ctx.users_of(c0), vec![add]);
+        assert!(!ctx.has_users(c1));
+
+        ctx.replace_all_uses(c0, c1);
+        assert!(ctx.users_of(c0).is_empty());
+        assert_eq!(ctx.users_of(c1), vec![add]);
+        assert_eq!(ctx.op(add).operands, vec![c1, c1]);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn move_and_detach_ops() {
+        let mut ctx = Context::new();
+        let (_, func, c0, c1) = simple_module(&mut ctx);
+        let c0_op = ctx.value(c0).defining_op().unwrap();
+        let c1_op = ctx.value(c1).defining_op().unwrap();
+        let body = ctx.body_block(func);
+        assert_eq!(ctx.block(body).ops, vec![c0_op, c1_op]);
+
+        ctx.move_op_before(c1_op, c0_op);
+        assert_eq!(ctx.block(body).ops, vec![c1_op, c0_op]);
+        ctx.move_op_after(c1_op, c0_op);
+        assert_eq!(ctx.block(body).ops, vec![c0_op, c1_op]);
+
+        ctx.detach_op(c0_op);
+        assert_eq!(ctx.block(body).ops, vec![c1_op]);
+        assert!(ctx.op(c0_op).parent_block.is_none());
+        ctx.move_op_to_end(c0_op, body);
+        assert_eq!(ctx.block(body).ops, vec![c1_op, c0_op]);
+    }
+
+    #[test]
+    fn erase_op_clears_uses_and_nested_ops() {
+        let mut ctx = Context::new();
+        let (_, func, c0, _) = simple_module(&mut ctx);
+        let body = ctx.body_block(func);
+        let (add, _) = ctx.build_op(body, "arith.addi", vec![c0, c0], vec![Type::i32()], vec![]);
+        assert!(ctx.has_users(c0));
+        let live_before = ctx.num_live_ops();
+        ctx.erase_op(add);
+        assert!(!ctx.has_users(c0));
+        assert!(!ctx.is_alive(add));
+        assert_eq!(ctx.num_live_ops(), live_before - 1);
+
+        // Erasing the func erases everything nested inside it.
+        ctx.erase_op(func);
+        assert!(!ctx.is_alive(ctx.value(c0).defining_op().unwrap()));
+    }
+
+    #[test]
+    fn dominance_in_nested_regions() {
+        let mut ctx = Context::new();
+        let (_, func, c0, c1) = simple_module(&mut ctx);
+        let c0_op = ctx.value(c0).defining_op().unwrap();
+        let c1_op = ctx.value(c1).defining_op().unwrap();
+        assert!(ctx.dominates(c0_op, c1_op));
+        assert!(!ctx.dominates(c1_op, c0_op));
+        assert!(ctx.dominates(c0_op, c0_op));
+
+        // Nested op: c0 dominates an op inside a region attached after c1.
+        let body = ctx.body_block(func);
+        let (wrapper, _) = ctx.build_op(body, "test.wrapper", vec![], vec![], vec![]);
+        let region = ctx.create_region(wrapper);
+        let inner_block = ctx.create_block(region);
+        let (inner, _) = ctx.build_op(inner_block, "arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+        assert!(ctx.dominates(c0_op, inner));
+        assert!(ctx.dominates(c1_op, inner));
+        assert!(!ctx.dominates(inner, c0_op));
+    }
+
+    #[test]
+    fn live_in_analysis() {
+        let mut ctx = Context::new();
+        let (_, func, c0, c1) = simple_module(&mut ctx);
+        let body = ctx.body_block(func);
+        let (wrapper, _) = ctx.build_op(body, "hida.task", vec![], vec![], vec![]);
+        let region = ctx.create_region(wrapper);
+        let inner_block = ctx.create_block(region);
+        let (_, inner_res) =
+            ctx.build_op(inner_block, "arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+        ctx.build_op(
+            inner_block,
+            "arith.muli",
+            vec![inner_res[0], c1],
+            vec![Type::i32()],
+            vec![],
+        );
+
+        let live = ctx.live_ins(wrapper);
+        assert_eq!(live, vec![c0, c1]);
+        assert!(ctx.is_live_in(wrapper, c0));
+        assert!(!ctx.is_live_in(wrapper, inner_res[0]));
+    }
+
+    #[test]
+    fn clone_op_remaps_nested_values() {
+        let mut ctx = Context::new();
+        let (_, func, c0, c1) = simple_module(&mut ctx);
+        let body = ctx.body_block(func);
+        let (wrapper, wrapper_res) = ctx.build_op(
+            body,
+            "hida.task",
+            vec![],
+            vec![Type::tensor(vec![4], Type::f32())],
+            vec![("id", Attribute::Int(7))],
+        );
+        let region = ctx.create_region(wrapper);
+        let inner_block = ctx.create_block(region);
+        let (_, sum) = ctx.build_op(inner_block, "arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+        ctx.build_op(inner_block, "builtin.yield", vec![sum[0]], vec![], vec![]);
+
+        let mut mapping = ValueMapping::new();
+        let clone = ctx.clone_op(wrapper, &mut mapping);
+        ctx.append_op(body, clone);
+
+        assert_ne!(clone, wrapper);
+        assert_eq!(ctx.op(clone).attr_int("id"), Some(7));
+        assert_eq!(ctx.op(clone).results.len(), 1);
+        assert_ne!(ctx.op(clone).results[0], wrapper_res[0]);
+        // The cloned yield must use the cloned addi result, not the original.
+        let cloned_ops = ctx.body_ops(clone);
+        assert_eq!(cloned_ops.len(), 2);
+        let cloned_add = cloned_ops[0];
+        let cloned_yield = cloned_ops[1];
+        assert_eq!(ctx.op(cloned_yield).operands[0], ctx.op(cloned_add).results[0]);
+        // Live-ins (c0, c1) are shared, not cloned.
+        assert_eq!(ctx.op(cloned_add).operands, vec![c0, c1]);
+    }
+
+    #[test]
+    fn value_mapping_lookup_defaults_to_identity() {
+        let mut m = ValueMapping::new();
+        let a = ValueId::from_index(1);
+        let b = ValueId::from_index(2);
+        assert_eq!(m.lookup(a), a);
+        m.map(a, b);
+        assert_eq!(m.lookup(a), b);
+        assert!(m.contains(a));
+        assert!(!m.contains(b));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types shared across the IR substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used by fallible IR operations.
+pub type IrResult<T> = Result<T, IrError>;
+
+/// Error raised by IR construction, verification, or pass execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An entity id did not resolve inside the owning context.
+    InvalidEntity(String),
+    /// Structural verification failed (malformed regions, dangling operands, ...).
+    Verification(String),
+    /// A pass reported a failure.
+    PassFailed {
+        /// Name of the failing pass.
+        pass: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation was used in a context it does not support.
+    UnsupportedOperation(String),
+    /// A malformed or missing attribute was encountered.
+    InvalidAttribute(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::InvalidEntity(msg) => write!(f, "invalid IR entity: {msg}"),
+            IrError::Verification(msg) => write!(f, "verification failed: {msg}"),
+            IrError::PassFailed { pass, reason } => {
+                write!(f, "pass '{pass}' failed: {reason}")
+            }
+            IrError::UnsupportedOperation(msg) => write!(f, "unsupported operation: {msg}"),
+            IrError::InvalidAttribute(msg) => write!(f, "invalid attribute: {msg}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+impl IrError {
+    /// Creates a verification error with the given message.
+    pub fn verification(msg: impl Into<String>) -> Self {
+        IrError::Verification(msg.into())
+    }
+
+    /// Creates a pass-failure error.
+    pub fn pass_failed(pass: impl Into<String>, reason: impl Into<String>) -> Self {
+        IrError::PassFailed {
+            pass: pass.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::verification("operand %3 not defined");
+        assert_eq!(e.to_string(), "verification failed: operand %3 not defined");
+        let e = IrError::pass_failed("fusion", "pattern mismatch");
+        assert!(e.to_string().contains("fusion"));
+        assert!(e.to_string().contains("pattern mismatch"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<IrError>();
+    }
+}

@@ -1,0 +1,100 @@
+//! Lightweight entity identifiers for IR objects stored in the [`Context`] arenas.
+//!
+//! All IR entities (operations, blocks, regions, values) are referred to by small
+//! copyable ids rather than references, which keeps mutation ergonomic (no borrow
+//! conflicts when rewriting the IR) and mirrors how production compilers index
+//! their arenas.
+//!
+//! [`Context`]: crate::Context
+
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw arena index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw arena index.
+            ///
+            /// Only the owning [`Context`](crate::Context) should mint new ids; this
+            /// constructor exists for deterministic test fixtures and serialization.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Identifier of an [`Operation`](crate::Operation) stored in a [`Context`](crate::Context).
+    OpId,
+    "op"
+);
+entity_id!(
+    /// Identifier of a [`Block`](crate::Block) stored in a [`Context`](crate::Context).
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Identifier of a [`Region`](crate::Region) stored in a [`Context`](crate::Context).
+    RegionId,
+    "region"
+);
+entity_id!(
+    /// Identifier of an SSA [`Value`](crate::Value) stored in a [`Context`](crate::Context).
+    ValueId,
+    "%"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_index() {
+        let op = OpId::from_index(7);
+        assert_eq!(op.index(), 7);
+        let v = ValueId::from_index(0);
+        assert_eq!(v.index(), 0);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(BlockId::from_index(1));
+        set.insert(BlockId::from_index(2));
+        set.insert(BlockId::from_index(1));
+        assert_eq!(set.len(), 2);
+        assert!(RegionId::from_index(1) < RegionId::from_index(3));
+    }
+
+    #[test]
+    fn debug_formatting_uses_prefixes() {
+        assert_eq!(format!("{:?}", OpId::from_index(3)), "op3");
+        assert_eq!(format!("{}", ValueId::from_index(12)), "%12");
+        assert_eq!(format!("{:?}", BlockId::from_index(0)), "bb0");
+        assert_eq!(format!("{:?}", RegionId::from_index(5)), "region5");
+    }
+}

@@ -1,0 +1,206 @@
+//! The [`Operation`] — the minimal unit of code in the IR (paper §3.1).
+//!
+//! Each operation accepts typed operands, produces typed results, carries named
+//! attributes, and may own nested regions. Operations are stored in and identified
+//! through the [`Context`](crate::Context); this module defines their payload.
+
+use crate::attributes::Attribute;
+use crate::ids::{BlockId, RegionId, ValueId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fully-qualified name of an operation, e.g. `"hida.node"` or `"affine.for"`.
+///
+/// Names use the MLIR convention `dialect.op`. The type is a thin wrapper over a
+/// `String` so dialect crates can define their names as `&str` constants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpName(String);
+
+impl OpName {
+    /// Creates an operation name from its fully-qualified string form.
+    pub fn new(name: impl Into<String>) -> Self {
+        OpName(name.into())
+    }
+
+    /// Returns the fully-qualified name (`dialect.op`).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the dialect namespace prefix (the part before the first `.`).
+    pub fn dialect(&self) -> &str {
+        self.0.split('.').next().unwrap_or(&self.0)
+    }
+
+    /// Returns the bare operation name (the part after the first `.`).
+    pub fn op(&self) -> &str {
+        match self.0.split_once('.') {
+            Some((_, op)) => op,
+            None => &self.0,
+        }
+    }
+}
+
+impl From<&str> for OpName {
+    fn from(s: &str) -> Self {
+        OpName::new(s)
+    }
+}
+
+impl From<String> for OpName {
+    fn from(s: String) -> Self {
+        OpName::new(s)
+    }
+}
+
+impl fmt::Display for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl PartialEq<&str> for OpName {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+/// An operation: operands, results, attributes and nested regions.
+///
+/// The fields are public because the [`Context`](crate::Context) mediates all
+/// structural mutation (use lists, parent links); passes read these fields directly
+/// and mutate through context APIs.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Fully-qualified operation name.
+    pub name: OpName,
+    /// SSA operands consumed by this operation, in order.
+    pub operands: Vec<ValueId>,
+    /// SSA results produced by this operation, in order.
+    pub results: Vec<ValueId>,
+    /// Named compile-time attributes (ordered for deterministic printing).
+    pub attributes: BTreeMap<String, Attribute>,
+    /// Nested regions owned by this operation.
+    pub regions: Vec<RegionId>,
+    /// Block containing this operation, if attached.
+    pub parent_block: Option<BlockId>,
+    /// Whether the operation's regions are isolated from the enclosing context.
+    ///
+    /// Functional dataflow ops (`dispatch`/`task`) are transparent (false); Structural
+    /// ops (`schedule`/`node`) and functions are isolated (true), so values defined
+    /// outside must be passed in as arguments (paper §5.2).
+    pub isolated: bool,
+}
+
+impl Operation {
+    /// Creates a detached operation with the given name and no operands/results.
+    pub fn new(name: impl Into<OpName>) -> Self {
+        Operation {
+            name: name.into(),
+            operands: Vec::new(),
+            results: Vec::new(),
+            attributes: BTreeMap::new(),
+            regions: Vec::new(),
+            parent_block: None,
+            isolated: false,
+        }
+    }
+
+    /// Returns the attribute stored under `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&Attribute> {
+        self.attributes.get(key)
+    }
+
+    /// Returns the integer attribute stored under `key`, if present.
+    pub fn attr_int(&self, key: &str) -> Option<i64> {
+        self.attributes.get(key).and_then(Attribute::as_int)
+    }
+
+    /// Returns the string attribute stored under `key`, if present.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attributes.get(key).and_then(Attribute::as_str)
+    }
+
+    /// Returns the integer-array attribute stored under `key`, if present.
+    pub fn attr_int_array(&self, key: &str) -> Option<&[i64]> {
+        self.attributes.get(key).and_then(Attribute::as_int_array)
+    }
+
+    /// Returns true when a unit/bool attribute under `key` is present and truthy.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.attributes
+            .get(key)
+            .and_then(Attribute::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// Sets (or replaces) the attribute stored under `key`.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<Attribute>) {
+        self.attributes.insert(key.into(), value.into());
+    }
+
+    /// Removes the attribute stored under `key`, returning it if present.
+    pub fn remove_attr(&mut self, key: &str) -> Option<Attribute> {
+        self.attributes.remove(key)
+    }
+
+    /// Returns true if this operation's name equals `name`.
+    pub fn is(&self, name: &str) -> bool {
+        self.name.as_str() == name
+    }
+
+    /// Returns true if this operation belongs to the given dialect namespace.
+    pub fn in_dialect(&self, dialect: &str) -> bool {
+        self.name.dialect() == dialect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_name_splits_dialect_and_op() {
+        let n = OpName::new("hida.node");
+        assert_eq!(n.dialect(), "hida");
+        assert_eq!(n.op(), "node");
+        assert_eq!(n.as_str(), "hida.node");
+        assert_eq!(n, "hida.node");
+        let bare = OpName::new("module");
+        assert_eq!(bare.dialect(), "module");
+        assert_eq!(bare.op(), "module");
+    }
+
+    #[test]
+    fn attribute_accessors() {
+        let mut op = Operation::new("affine.for");
+        op.set_attr("lower_bound", 0_i64);
+        op.set_attr("upper_bound", 16_i64);
+        op.set_attr("fashion", "cyclic");
+        op.set_attr("factors", vec![4_i64, 4]);
+        op.set_attr("pipeline", Attribute::Unit);
+
+        assert_eq!(op.attr_int("lower_bound"), Some(0));
+        assert_eq!(op.attr_int("upper_bound"), Some(16));
+        assert_eq!(op.attr_str("fashion"), Some("cyclic"));
+        assert_eq!(op.attr_int_array("factors"), Some(&[4_i64, 4][..]));
+        assert!(op.has_flag("pipeline"));
+        assert!(!op.has_flag("unroll"));
+        assert!(op.is("affine.for"));
+        assert!(op.in_dialect("affine"));
+        assert!(!op.in_dialect("hida"));
+
+        assert!(op.remove_attr("pipeline").is_some());
+        assert!(!op.has_flag("pipeline"));
+    }
+
+    #[test]
+    fn new_operation_is_detached_and_transparent() {
+        let op = Operation::new("hida.task");
+        assert!(op.parent_block.is_none());
+        assert!(!op.isolated);
+        assert!(op.operands.is_empty());
+        assert!(op.results.is_empty());
+        assert!(op.regions.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Pass abstraction and pass manager.
+//!
+//! HIDA-OPT is organised as a pipeline of passes over the IR (Functional dataflow
+//! construction, task fusion, lowering, structural optimization, parallelization,
+//! ...). The [`PassManager`] runs passes in order, verifies the IR between passes,
+//! and records per-pass statistics.
+
+use crate::context::Context;
+use crate::error::{IrError, IrResult};
+use crate::ids::OpId;
+use crate::verifier::verify;
+use std::time::Instant;
+
+/// A transformation or analysis applied to the IR rooted at a module op.
+pub trait Pass {
+    /// Unique, human-readable pass name (e.g. `"hida-task-fusion"`).
+    fn name(&self) -> &str;
+
+    /// Runs the pass over the IR rooted at `root`.
+    ///
+    /// # Errors
+    /// Returns an error when the pass cannot complete; the pass manager aborts the
+    /// pipeline in that case.
+    fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()>;
+}
+
+/// Timing and size statistics recorded for each executed pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassStatistics {
+    /// Name of the executed pass.
+    pub pass: String,
+    /// Wall-clock duration in microseconds.
+    pub micros: u128,
+    /// Number of live ops after the pass.
+    pub live_ops_after: usize,
+}
+
+/// Runs a sequence of passes with optional inter-pass verification.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    statistics: Vec<PassStatistics>,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pass manager with inter-pass verification enabled.
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: true,
+            statistics: Vec::new(),
+        }
+    }
+
+    /// Enables or disables verification after each pass.
+    pub fn with_verification(mut self, verify_each: bool) -> Self {
+        self.verify_each = verify_each;
+        self
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add_pass(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Returns true when no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Statistics of the most recent [`PassManager::run`] invocation.
+    pub fn statistics(&self) -> &[PassStatistics] {
+        &self.statistics
+    }
+
+    /// Runs all registered passes in order over the IR rooted at `root`.
+    ///
+    /// # Errors
+    /// Propagates the first pass failure or inter-pass verification failure.
+    pub fn run(&mut self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+        self.statistics.clear();
+        for pass in &self.passes {
+            let start = Instant::now();
+            pass.run(ctx, root)
+                .map_err(|e| IrError::pass_failed(pass.name(), e.to_string()))?;
+            if self.verify_each {
+                verify(ctx, root).map_err(|e| {
+                    IrError::pass_failed(pass.name(), format!("post-pass verification: {e}"))
+                })?;
+            }
+            self.statistics.push(PassStatistics {
+                pass: pass.name().to_string(),
+                micros: start.elapsed().as_micros(),
+                live_ops_after: ctx.num_live_ops(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+    use crate::types::Type;
+
+    struct CountConstantsPass {
+        expected: usize,
+    }
+
+    impl Pass for CountConstantsPass {
+        fn name(&self) -> &str {
+            "count-constants"
+        }
+        fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+            let n = ctx.collect_ops(root, "arith.constant").len();
+            if n == self.expected {
+                Ok(())
+            } else {
+                Err(IrError::verification(format!("expected {} constants, found {n}", self.expected)))
+            }
+        }
+    }
+
+    struct EraseConstantsPass;
+
+    impl Pass for EraseConstantsPass {
+        fn name(&self) -> &str {
+            "erase-constants"
+        }
+        fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+            for op in ctx.collect_ops(root, "arith.constant") {
+                ctx.erase_op(op);
+            }
+            Ok(())
+        }
+    }
+
+    fn module_with_constants(ctx: &mut Context, n: usize) -> OpId {
+        let module = ctx.create_module("m");
+        let func = OpBuilder::at_end_of(ctx, module).create_func("f", vec![], vec![]);
+        let mut b = OpBuilder::at_end_of(ctx, func);
+        for i in 0..n {
+            b.create_constant_int(i as i64, Type::i32());
+        }
+        module
+    }
+
+    #[test]
+    fn pipeline_runs_passes_in_order_and_records_statistics() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 3);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(CountConstantsPass { expected: 3 }));
+        pm.add_pass(Box::new(EraseConstantsPass));
+        pm.add_pass(Box::new(CountConstantsPass { expected: 0 }));
+        assert_eq!(pm.len(), 3);
+        assert!(!pm.is_empty());
+        pm.run(&mut ctx, module).unwrap();
+        assert_eq!(pm.statistics().len(), 3);
+        assert_eq!(pm.statistics()[0].pass, "count-constants");
+        assert!(pm.statistics()[1].live_ops_after < pm.statistics()[0].live_ops_after);
+    }
+
+    #[test]
+    fn pipeline_aborts_on_pass_failure() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 2);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(CountConstantsPass { expected: 99 }));
+        pm.add_pass(Box::new(EraseConstantsPass));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        assert!(matches!(err, IrError::PassFailed { .. }));
+        // The failing pipeline never reached the erase pass.
+        assert_eq!(ctx.collect_ops(module, "arith.constant").len(), 2);
+    }
+
+    #[test]
+    fn inter_pass_verification_catches_broken_ir() {
+        struct BreakIrPass;
+        impl Pass for BreakIrPass {
+            fn name(&self) -> &str {
+                "break-ir"
+            }
+            fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+                // Erase a constant that still has users, leaving a dangling operand.
+                let consts = ctx.collect_ops(root, "arith.constant");
+                let c = consts[0];
+                let result = ctx.op(c).results[0];
+                let block = ctx.op(c).parent_block.unwrap();
+                ctx.build_op(block, "arith.negi", vec![result], vec![Type::i32()], vec![]);
+                ctx.erase_op(c);
+                Ok(())
+            }
+        }
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 1);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(BreakIrPass));
+        assert!(pm.run(&mut ctx, module).is_err());
+
+        // With verification disabled, the same pipeline "succeeds".
+        let mut ctx2 = Context::new();
+        let module2 = module_with_constants(&mut ctx2, 1);
+        let mut pm2 = PassManager::new().with_verification(false);
+        pm2.add_pass(Box::new(BreakIrPass));
+        assert!(pm2.run(&mut ctx2, module2).is_ok());
+    }
+}

@@ -1,0 +1,19 @@
+//! Dataflow simulator.
+//!
+//! The paper validates its designs through Vitis HLS C simulation and on-board runs.
+//! Without that toolchain, this crate provides two substitutes:
+//!
+//! * a **functional interpreter** ([`functional`]) that executes structural dataflow
+//!   schedules whose node bodies are affine loop nests (the PolyBench path) on real
+//!   data, checking that HIDA's structural transformations (buffer duplication, node
+//!   fusion, multi-producer elimination) preserve the computed values;
+//! * a **timed simulator** ([`timed`]) that replays the coarse-grained pipeline
+//!   cycle-by-frame using the per-node latency estimates, cross-checking the
+//!   analytic interval model of `hida-estimator` (stalls from unbalanced paths,
+//!   sequential vs dataflow execution).
+
+pub mod functional;
+pub mod timed;
+
+pub use functional::interpret_schedule;
+pub use timed::{simulate_pipeline, PipelineTrace};

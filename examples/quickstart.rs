@@ -1,0 +1,32 @@
+//! Quickstart: compile one PolyBench kernel end to end with HIDA and print the
+//! quality-of-results report plus a snippet of the generated HLS C++.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hida::{Compiler, PolybenchKernel, Workload};
+
+fn main() {
+    let result = Compiler::polybench_defaults()
+        .compile(Workload::Polybench(PolybenchKernel::TwoMm))
+        .expect("compilation should succeed");
+
+    println!("== HIDA quickstart: 2mm on ZU3EG ==");
+    println!("compile time        : {:.3} s", result.compile_seconds);
+    println!("dataflow nodes      : {}", result.schedule.nodes(&result.ctx).len());
+    println!("throughput          : {:.1} samples/s", result.estimate.throughput());
+    println!(
+        "sequential baseline : {:.1} samples/s ({:.2}x slower)",
+        result.estimate_sequential.throughput(),
+        result.estimate.speedup_over(&result.estimate_sequential)
+    );
+    println!(
+        "resources           : {} DSP, {} BRAM-18K, {} LUT",
+        result.estimate.resources.dsp,
+        result.estimate.resources.bram_18k,
+        result.estimate.resources.lut
+    );
+    println!("\n== First lines of the generated HLS C++ ==");
+    for line in result.hls_cpp.lines().take(20) {
+        println!("{line}");
+    }
+}

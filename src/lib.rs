@@ -1,0 +1,7 @@
+//! Workspace-level umbrella crate.
+//!
+//! This crate exists so the repository root can host runnable [examples](../examples)
+//! and cross-crate [integration tests](../tests). It simply re-exports the end-to-end
+//! [`hida`] API; see the `hida` crate for the actual library surface.
+
+pub use hida::*;
