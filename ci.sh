@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gate. Run from the repository root.
+set -euo pipefail
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --benches -q -- --test (bench smoke run, 1 iteration each)"
+cargo test --benches -q -- --test
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -3,6 +3,10 @@
 //! For each strategy (IA+CA, IA-only, CA-only, Naive) and each maximum parallel
 //! factor, reports DSP count, BRAM count and throughput. Pass `--full` for the full
 //! factor sweep.
+//!
+//! The ablation axis is plain pass configuration: every design point runs the
+//! declarative pipeline from `Pipeline::from_options`, whose `hida-parallelize`
+//! pass instance carries the mode, as the recorded pass statistics show.
 
 use hida::{Compiler, HidaOptions, Model, ParallelMode, Workload};
 
@@ -40,5 +44,17 @@ fn main() {
                 result.estimate.throughput()
             );
         }
+    }
+
+    // The mode is carried as an option of the hida-parallelize pass instance.
+    let sample = Compiler::new(HidaOptions {
+        mode: ParallelMode::CaOnly,
+        ..HidaOptions::dnn()
+    })
+    .compile(Workload::Model(Model::LeNet))
+    .expect("lenet compilation");
+    println!("\n# Pipeline of the CA-only variant");
+    for stat in &sample.pass_statistics {
+        println!("{stat}");
     }
 }

@@ -1,10 +1,16 @@
 //! Regenerates Tables 4, 5 and 6: connection maps, parallelization results and array
 //! partition results for the Listing 1 running example.
+//!
+//! Each table is produced by a declarative pass pipeline (rather than hand-rolled
+//! optimizer calls): Table 4 runs a construct→lower pipeline and analyzes the
+//! resulting schedule; Tables 5 and 6 append a `ParallelizePass` configured with the
+//! ablated parallelization mode. Per-pass statistics of the executed pipelines are
+//! printed at the end.
 
 use hida::dialects::transforms;
 use hida::ir::Context;
-use hida::opt::{construct, lower, parallelize, ParallelMode};
-use hida::FpgaDevice;
+use hida::opt::{parallelize, ConstructPass, LowerPass, ParallelizePass, ParallelMode};
+use hida::{FpgaDevice, PassStatistics, Pipeline};
 
 fn fmt_perm(perm: &[Option<usize>]) -> String {
     let cells: Vec<String> = perm
@@ -22,15 +28,49 @@ fn fmt_scale(scale: &[Option<f64>]) -> String {
     format!("[{}]", cells.join(", "))
 }
 
-fn main() {
-    let device = FpgaDevice::pynq_z2();
+/// The construct→lower pipeline shared by every table (Table 4 stops here).
+fn structural_pipeline() -> Pipeline {
+    let mut pipeline = Pipeline::new();
+    pipeline.add_pass(ConstructPass);
+    pipeline.add_pass(LowerPass);
+    pipeline
+}
 
-    // Table 4: connection analysis.
+/// The Table 5/6 pipeline variant: structural lowering plus a parallelization pass
+/// configured with the ablated mode.
+fn parallelizing_pipeline(mode: ParallelMode, device: &FpgaDevice) -> Pipeline {
+    let mut pipeline = structural_pipeline();
+    pipeline.add_pass(ParallelizePass {
+        max_parallel_factor: 32,
+        mode,
+        device: device.clone(),
+    });
+    pipeline
+}
+
+fn listing1_schedule(
+    pipeline: &mut Pipeline,
+) -> (Context, hida::dataflow_ir::structural::ScheduleOp) {
     let mut ctx = Context::new();
     let module = ctx.create_module("listing1");
     let l1 = hida::frontend::listing1::build_listing1(&mut ctx, module);
-    construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
-    let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
+    let schedule = pipeline.run(&mut ctx, l1.func).unwrap();
+    (ctx, schedule)
+}
+
+fn print_statistics(title: &str, statistics: &[PassStatistics]) {
+    println!("\n# Pipeline statistics — {title}");
+    for stat in statistics {
+        println!("{stat}");
+    }
+}
+
+fn main() {
+    let device = FpgaDevice::pynq_z2();
+
+    // Table 4: connection analysis over the un-parallelized structural dataflow.
+    let mut pipeline = structural_pipeline();
+    let (ctx, schedule) = listing1_schedule(&mut pipeline);
     let connections = parallelize::analyze_connections(&ctx, schedule);
     println!("# Table 4 — node connections of Listing 1");
     println!("source -> target | S-to-T perm | T-to-S perm | S-to-T scale | T-to-S scale");
@@ -45,6 +85,7 @@ fn main() {
             fmt_scale(&c.t_to_s_scale),
         );
     }
+    print_statistics("construct→lower", pipeline.statistics());
 
     // Tables 5 and 6: parallelization and partitioning per mode, max parallel factor 32.
     for mode in [
@@ -53,12 +94,8 @@ fn main() {
         ParallelMode::CaOnly,
         ParallelMode::Naive,
     ] {
-        let mut ctx = Context::new();
-        let module = ctx.create_module("listing1");
-        let l1 = hida::frontend::listing1::build_listing1(&mut ctx, module);
-        construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
-        let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
-        parallelize::parallelize_schedule(&mut ctx, schedule, 32, mode, &device).unwrap();
+        let mut pipeline = parallelizing_pipeline(mode, &device);
+        let (ctx, schedule) = listing1_schedule(&mut pipeline);
 
         println!("\n# Table 5 ({}) — node parallelization", mode.label());
         for node in schedule.nodes(&ctx) {
@@ -83,5 +120,6 @@ fn main() {
                 p.bank_count()
             );
         }
+        print_statistics(mode.label(), pipeline.statistics());
     }
 }

@@ -39,7 +39,8 @@ pub use hida_estimator::device::FpgaDevice;
 pub use hida_estimator::report::DesignEstimate;
 pub use hida_frontend::nn::Model;
 pub use hida_frontend::polybench::PolybenchKernel;
-pub use hida_opt::{HidaOptions, ParallelMode};
+pub use hida_ir_core::pass::{PassOption, PassStatistics, PipelineState};
+pub use hida_opt::{HidaOptions, ParallelMode, Pipeline};
 
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::dataflow::DataflowEstimator;
@@ -85,6 +86,9 @@ pub struct CompilationResult {
     pub hls_cpp: String,
     /// Compile time of the HIDA flow itself, in seconds.
     pub compile_seconds: f64,
+    /// Per-pass statistics recorded by the optimizer's pass pipeline (timing, op
+    /// deltas, configured options), in execution order.
+    pub pass_statistics: Vec<PassStatistics>,
 }
 
 /// The end-to-end HIDA compiler.
@@ -160,7 +164,7 @@ impl Compiler {
     ) -> IrResult<CompilationResult> {
         let start = Instant::now();
         let optimizer = hida_opt::HidaOptimizer::new(self.options.clone());
-        let schedule = optimizer.run(&mut ctx, func)?;
+        let (schedule, pass_statistics) = optimizer.run_with_statistics(&mut ctx, func)?;
         hida_ir_core::verifier::verify(&ctx, module)
             .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
         let estimator = DataflowEstimator::new(self.options.device.clone());
@@ -176,6 +180,7 @@ impl Compiler {
             estimate_sequential,
             hls_cpp,
             compile_seconds,
+            pass_statistics,
         })
     }
 }
@@ -214,6 +219,27 @@ mod tests {
             Workload::PolybenchSized(PolybenchKernel::Mvt, 64).name(),
             "mvt"
         );
+    }
+
+    #[test]
+    fn compilation_result_exposes_per_pass_statistics() {
+        let result = Compiler::polybench_defaults()
+            .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32))
+            .unwrap();
+        let expected = Pipeline::from_options(&HidaOptions::polybench()).pass_names();
+        let recorded: Vec<String> = result
+            .pass_statistics
+            .iter()
+            .map(|s| s.pass.clone())
+            .collect();
+        assert!(!recorded.is_empty());
+        assert_eq!(recorded, expected);
+        // Statistics are genuinely per-pass: every record carries op counts, and the
+        // construction pass visibly grows the IR.
+        assert!(result.pass_statistics[0].op_delta() > 0);
+        for stat in &result.pass_statistics {
+            assert!(stat.live_ops_after > 0);
+        }
     }
 
     #[test]

@@ -4,10 +4,9 @@
 //! * AMD-Xilinx ZU3EG — the PolyBench C++ kernel platform (§7.1).
 //! * One super logic region (SLR) of an AMD-Xilinx VU9P — the DNN platform (§7.2).
 
-use serde::{Deserialize, Serialize};
 
 /// Static description of an FPGA target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaDevice {
     /// Human-readable device name.
     pub name: String,
@@ -130,8 +129,7 @@ mod tests {
     }
 
     #[test]
-    fn devices_serialize_round_trip() {
-        // serde support lets benchmark harnesses dump device configs with results.
+    fn devices_debug_and_clone_round_trip() {
         let d = FpgaDevice::zu3eg();
         let text = format!("{d:?}");
         assert!(text.contains("zu3eg"));

@@ -13,7 +13,6 @@ use hida_dialects::analysis::{profile_body, ComputeProfile};
 use hida_dialects::hls::{self, MemoryKind};
 use hida_dialects::transforms;
 use hida_ir_core::{Context, OpId, ValueId};
-use serde::{Deserialize, Serialize};
 
 /// Physical description of a buffer as seen by one node.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,7 +120,7 @@ pub fn buffer_info(ctx: &Context, value: ValueId) -> BufferInfo {
 }
 
 /// QoR estimate of one dataflow node (or of any op body treated as a single task).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeEstimate {
     /// Human-readable node name.
     pub name: String,

@@ -6,10 +6,9 @@
 
 use crate::latency::NodeEstimate;
 use crate::resource::Resources;
-use serde::{Deserialize, Serialize};
 
 /// Complete QoR summary of one design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignEstimate {
     /// Design name (schedule or function name).
     pub name: String,

@@ -9,12 +9,11 @@
 
 use crate::device::FpgaDevice;
 use hida_dialects::hls::MemoryKind;
-use serde::{Deserialize, Serialize};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
 /// Aggregate FPGA resource usage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Resources {
     /// DSP blocks.
     pub dsp: i64,

@@ -123,6 +123,7 @@ impl<'a> KernelBuilder<'a> {
     }
 
     /// Emits `out[i][j] += lhs[i][k] * rhs[k][j]` over `(i, j, k)` loops.
+    #[allow(clippy::too_many_arguments)]
     fn matmul(&mut self, lhs: ValueId, rhs: ValueId, out: ValueId, n: i64, m: i64, k: i64, tag: &str) -> OpId {
         let (loops, ivs, inner) = build_loop_nest(
             self.ctx,
@@ -144,6 +145,7 @@ impl<'a> KernelBuilder<'a> {
     }
 
     /// Emits `out[i] += mat[i][j] * vec[j]` (or the transposed variant) over `(i, j)`.
+    #[allow(clippy::too_many_arguments)]
     fn matvec(&mut self, mat: ValueId, vec: ValueId, out: ValueId, n: i64, m: i64, transposed: bool, tag: &str) -> OpId {
         let (loops, ivs, inner) = build_loop_nest(
             self.ctx,

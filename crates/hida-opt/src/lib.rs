@@ -16,17 +16,39 @@
 //! 5. [`parallelize`] — intensity- and connection-aware parallelization
 //!    (Algorithm 4), followed by connection-aware array partitioning.
 //!
-//! The whole pipeline is driven by [`HidaOptimizer`] with a set of [`HidaOptions`].
+//! # Pass-pipeline architecture
+//!
+//! The steps are not hard-wired: each is wrapped as a named
+//! [`Pass`](hida_ir_core::Pass) in the [`pipeline`] module, and the standard flow
+//! is assembled *declaratively* by [`Pipeline::from_options`] — boolean options
+//! become pipeline membership, scalar knobs become pass-instance options — and
+//! executed by the shared [`PassManager`](hida_ir_core::PassManager), which
+//! verifies the IR between passes and records per-pass
+//! [`PassStatistics`](hida_ir_core::PassStatistics) (wall-clock time, op deltas,
+//! configured options). The structural `ScheduleOp` produced by lowering flows to
+//! later passes through the typed
+//! [`PipelineState`](hida_ir_core::PipelineState) slot map.
+//!
+//! [`HidaOptimizer`] is a thin driver over that machinery: it builds the pipeline
+//! from its [`HidaOptions`] and runs it. Ablations and custom flows build their
+//! own [`Pipeline`] from the individual pass structs instead.
 
 pub mod construct;
 pub mod fusion;
 pub mod lower;
 pub mod parallelize;
+pub mod pipeline;
 pub mod structural_opt;
 pub mod tiling;
 
+pub use pipeline::{
+    BalancePass, ConstructPass, FusionPass, LowerPass, MultiProducerEliminationPass,
+    ParallelizePass, Pipeline, TilingPass,
+};
+
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::device::FpgaDevice;
+use hida_ir_core::pass::PassStatistics;
 use hida_ir_core::{Context, IrResult, OpId};
 
 /// Parallelization strategy, used by the Figure 11 ablation.
@@ -141,40 +163,29 @@ impl HidaOptimizer {
     /// Runs the full HIDA-OPT pipeline on `func` (a function produced by one of the
     /// front-ends) and returns the resulting structural schedule.
     ///
+    /// The pipeline is assembled declaratively with [`Pipeline::from_options`] and
+    /// executed through the [`PassManager`](hida_ir_core::PassManager); use
+    /// [`HidaOptimizer::run_with_statistics`] to also obtain per-pass statistics.
+    ///
     /// # Errors
     /// Propagates pass failures (malformed IR, impossible constraints).
     pub fn run(&self, ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp> {
-        construct::construct_functional_dataflow(ctx, func)?;
-        if self.options.enable_fusion {
-            fusion::fuse_tasks(ctx, func, &fusion::default_fusion_patterns())?;
-        }
-        let schedule = lower::lower_to_structural(ctx, func)?;
-        if self.options.enable_balancing {
-            structural_opt::eliminate_multi_producers(ctx, schedule)?;
-        }
-        if let Some(tile) = self.options.tile_size {
-            tiling::apply_tiling(
-                ctx,
-                schedule,
-                tile,
-                self.options.external_threshold_bytes,
-            );
-        }
-        if self.options.enable_balancing {
-            structural_opt::balance_data_paths(
-                ctx,
-                schedule,
-                self.options.external_threshold_bytes,
-            )?;
-        }
-        parallelize::parallelize_schedule(
-            ctx,
-            schedule,
-            self.options.max_parallel_factor,
-            self.options.mode,
-            &self.options.device,
-        )?;
-        Ok(schedule)
+        self.run_with_statistics(ctx, func).map(|(schedule, _)| schedule)
+    }
+
+    /// Runs the pipeline like [`HidaOptimizer::run`], additionally returning the
+    /// statistics recorded for every executed pass.
+    ///
+    /// # Errors
+    /// Propagates pass failures (malformed IR, impossible constraints).
+    pub fn run_with_statistics(
+        &self,
+        ctx: &mut Context,
+        func: OpId,
+    ) -> IrResult<(ScheduleOp, Vec<PassStatistics>)> {
+        let mut pipeline = Pipeline::from_options(&self.options);
+        let schedule = pipeline.run(ctx, func)?;
+        Ok((schedule, pipeline.statistics().to_vec()))
     }
 }
 

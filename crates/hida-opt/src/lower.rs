@@ -63,7 +63,7 @@ pub fn lower_to_structural(ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp
     // structural buffer declared inside the schedule.
     let mut buffer_of: HashMap<ValueId, ValueId> = HashMap::new();
     let mut buffer_counter = 0_usize;
-    let mut make_buffer =
+    let make_buffer =
         |ctx: &mut Context, ty: Type, name: &str, counter: &mut usize| -> ValueId {
             let memref_ty = ty.tensor_to_memref();
             let mut b = OpBuilder::at_block_index(ctx, schedule_body, *counter);
@@ -178,7 +178,7 @@ fn lower_task_to_node(
     // Decide the node operands: every live-in buffer plus one buffer per task result.
     let mut operands: Vec<(ValueId, MemEffect)> = Vec::new();
     let mut operand_source: Vec<ValueId> = Vec::new();
-    let mut push_operand = |value: ValueId, effect: MemEffect, operands: &mut Vec<(ValueId, MemEffect)>, sources: &mut Vec<ValueId>| {
+    let push_operand = |value: ValueId, effect: MemEffect, operands: &mut Vec<(ValueId, MemEffect)>, sources: &mut Vec<ValueId>| {
         if let Some(pos) = sources.iter().position(|&v| v == value) {
             operands[pos].1 = operands[pos].1.merge(effect);
         } else {

@@ -1,0 +1,430 @@
+//! The HIDA-OPT pass pipeline.
+//!
+//! Every step of the optimizer (paper §6) is wrapped as a named
+//! [`Pass`](hida_ir_core::Pass) so the whole flow becomes *data*: a [`Pipeline`]
+//! assembled by [`Pipeline::from_options`] and executed by the shared
+//! [`PassManager`]. Option toggles map to pipeline membership (fusion, balancing
+//! and tiling passes are simply absent when disabled) while scalar knobs become
+//! pass-instance options, visible in the recorded
+//! [`PassStatistics`](hida_ir_core::PassStatistics).
+//!
+//! The structural [`ScheduleOp`] produced by [`LowerPass`] flows to the later
+//! structural passes through the typed [`PipelineState`] slot map, so a custom
+//! pipeline can splice in extra passes between lowering and parallelization
+//! without any signature changes.
+//!
+//! The default pipeline assembled from [`HidaOptions`] is:
+//!
+//! | pass | gated by |
+//! |------|----------|
+//! | [`ConstructPass`] (`hida-construct-dataflow`) | always |
+//! | [`FusionPass`] (`hida-task-fusion`) | `enable_fusion` |
+//! | [`LowerPass`] (`hida-lower-structural`) | always |
+//! | [`MultiProducerEliminationPass`] (`hida-eliminate-multi-producers`) | `enable_balancing` |
+//! | [`TilingPass`] (`hida-tiling`) | `tile_size.is_some()` |
+//! | [`BalancePass`] (`hida-balance-data-paths`) | `enable_balancing` |
+//! | [`ParallelizePass`] (`hida-parallelize`) | always |
+
+use crate::{construct, fusion, lower, parallelize, structural_opt, tiling};
+use crate::{HidaOptions, ParallelMode};
+use hida_dataflow_ir::structural::ScheduleOp;
+use hida_estimator::device::FpgaDevice;
+use hida_ir_core::pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
+use hida_ir_core::{Context, IrError, IrResult, OpId};
+
+/// Retrieves the schedule deposited by [`LowerPass`], failing with a diagnostic
+/// naming the requesting pass when lowering has not run yet.
+fn schedule_from(state: &PipelineState, pass: &str) -> IrResult<ScheduleOp> {
+    state.get::<ScheduleOp>().copied().ok_or_else(|| {
+        IrError::pass_failed(
+            pass,
+            "no ScheduleOp in pipeline state — run hida-lower-structural first",
+        )
+    })
+}
+
+/// Functional dataflow construction (Algorithm 1) as a pipeline pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConstructPass;
+
+impl Pass for ConstructPass {
+    fn name(&self) -> &str {
+        "hida-construct-dataflow"
+    }
+
+    fn run(&self, ctx: &mut Context, root: OpId, _state: &mut PipelineState) -> IrResult<()> {
+        construct::construct_functional_dataflow(ctx, root)
+    }
+}
+
+/// Task fusion (Algorithm 2) as a pipeline pass, configurable with a pattern set.
+pub struct FusionPass {
+    patterns: Vec<Box<dyn fusion::FusionPattern>>,
+}
+
+impl Default for FusionPass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FusionPass {
+    /// Fusion with the default profitable patterns.
+    pub fn new() -> Self {
+        FusionPass {
+            patterns: fusion::default_fusion_patterns(),
+        }
+    }
+
+    /// Fusion with an explicit pattern set.
+    pub fn with_patterns(patterns: Vec<Box<dyn fusion::FusionPattern>>) -> Self {
+        FusionPass { patterns }
+    }
+}
+
+impl Pass for FusionPass {
+    fn name(&self) -> &str {
+        "hida-task-fusion"
+    }
+
+    fn options(&self) -> Vec<PassOption> {
+        let names: Vec<&str> = self.patterns.iter().map(|p| p.name()).collect();
+        vec![PassOption::new("patterns", names.join("+"))]
+    }
+
+    fn run(&self, ctx: &mut Context, root: OpId, _state: &mut PipelineState) -> IrResult<()> {
+        fusion::fuse_tasks(ctx, root, &self.patterns)
+    }
+}
+
+/// Structural dataflow construction (§6.3): lowers the functional dataflow to a
+/// `hida.schedule` and deposits the [`ScheduleOp`] into the pipeline state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    fn name(&self) -> &str {
+        "hida-lower-structural"
+    }
+
+    fn run(&self, ctx: &mut Context, root: OpId, state: &mut PipelineState) -> IrResult<()> {
+        let schedule = lower::lower_to_structural(ctx, root)?;
+        state.insert(schedule);
+        Ok(())
+    }
+}
+
+/// Multi-producer elimination (Algorithm 3) as a pipeline pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MultiProducerEliminationPass;
+
+impl Pass for MultiProducerEliminationPass {
+    fn name(&self) -> &str {
+        "hida-eliminate-multi-producers"
+    }
+
+    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+        let schedule = schedule_from(state, self.name())?;
+        structural_opt::eliminate_multi_producers(ctx, schedule)
+    }
+}
+
+/// Loop tiling and external-memory spilling as a pipeline pass.
+#[derive(Debug, Clone, Copy)]
+pub struct TilingPass {
+    /// Square spatial tile size applied to large layers.
+    pub tile_size: i64,
+    /// Buffers larger than this many bytes are spilled to external memory.
+    pub external_threshold_bytes: i64,
+}
+
+impl Pass for TilingPass {
+    fn name(&self) -> &str {
+        "hida-tiling"
+    }
+
+    fn options(&self) -> Vec<PassOption> {
+        vec![
+            PassOption::new("tile-size", self.tile_size),
+            PassOption::new("external-threshold-bytes", self.external_threshold_bytes),
+        ]
+    }
+
+    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+        let schedule = schedule_from(state, self.name())?;
+        tiling::apply_tiling(ctx, schedule, self.tile_size, self.external_threshold_bytes);
+        Ok(())
+    }
+}
+
+/// Data-path balancing (§6.4.2) as a pipeline pass.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancePass {
+    /// Buffers whose deepened footprint exceeds this become soft FIFOs.
+    pub external_threshold_bytes: i64,
+}
+
+impl Pass for BalancePass {
+    fn name(&self) -> &str {
+        "hida-balance-data-paths"
+    }
+
+    fn options(&self) -> Vec<PassOption> {
+        vec![PassOption::new(
+            "external-threshold-bytes",
+            self.external_threshold_bytes,
+        )]
+    }
+
+    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+        let schedule = schedule_from(state, self.name())?;
+        structural_opt::balance_data_paths(ctx, schedule, self.external_threshold_bytes)
+    }
+}
+
+/// Intensity- and connection-aware parallelization (Algorithm 4) as a pipeline
+/// pass; the [`ParallelMode`] ablation axis is plain pass configuration.
+#[derive(Debug, Clone)]
+pub struct ParallelizePass {
+    /// Maximum parallel factor granted to any single node.
+    pub max_parallel_factor: i64,
+    /// Parallelization strategy (IA/CA ablation axis).
+    pub mode: ParallelMode,
+    /// Target device for resource-constrained factor generation.
+    pub device: FpgaDevice,
+}
+
+impl Pass for ParallelizePass {
+    fn name(&self) -> &str {
+        "hida-parallelize"
+    }
+
+    fn options(&self) -> Vec<PassOption> {
+        vec![
+            PassOption::new("max-parallel-factor", self.max_parallel_factor),
+            PassOption::new("mode", self.mode.label()),
+            PassOption::new("device", &self.device.name),
+        ]
+    }
+
+    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+        let schedule = schedule_from(state, self.name())?;
+        parallelize::parallelize_schedule(
+            ctx,
+            schedule,
+            self.max_parallel_factor,
+            self.mode,
+            &self.device,
+        )
+    }
+}
+
+/// A declarative HIDA-OPT pipeline: an ordered pass list executed by the shared
+/// [`PassManager`], producing a structural [`ScheduleOp`] plus per-pass statistics.
+pub struct Pipeline {
+    manager: PassManager,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline with inter-pass verification enabled.
+    pub fn new() -> Self {
+        Pipeline {
+            manager: PassManager::new(),
+        }
+    }
+
+    /// Assembles the standard HIDA-OPT pipeline from compilation options.
+    ///
+    /// Boolean options control pipeline membership; scalar options configure the
+    /// individual pass instances.
+    pub fn from_options(options: &HidaOptions) -> Self {
+        let mut pipeline = Pipeline::new();
+        pipeline.add_pass(ConstructPass);
+        if options.enable_fusion {
+            pipeline.add_pass(FusionPass::new());
+        }
+        pipeline.add_pass(LowerPass);
+        if options.enable_balancing {
+            pipeline.add_pass(MultiProducerEliminationPass);
+        }
+        if let Some(tile_size) = options.tile_size {
+            pipeline.add_pass(TilingPass {
+                tile_size,
+                external_threshold_bytes: options.external_threshold_bytes,
+            });
+        }
+        if options.enable_balancing {
+            pipeline.add_pass(BalancePass {
+                external_threshold_bytes: options.external_threshold_bytes,
+            });
+        }
+        pipeline.add_pass(ParallelizePass {
+            max_parallel_factor: options.max_parallel_factor,
+            mode: options.mode,
+            device: options.device.clone(),
+        });
+        pipeline
+    }
+
+    /// Appends a pass (builder style, for custom pipelines).
+    pub fn add_pass(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.manager.add_pass(Box::new(pass));
+        self
+    }
+
+    /// Enables or disables inter-pass verification.
+    pub fn with_verification(mut self, verify_each: bool) -> Self {
+        self.manager = std::mem::take(&mut self.manager).with_verification(verify_each);
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.manager.len()
+    }
+
+    /// True when the pipeline has no passes.
+    pub fn is_empty(&self) -> bool {
+        self.manager.is_empty()
+    }
+
+    /// Names of the registered passes, in execution order.
+    pub fn pass_names(&self) -> Vec<String> {
+        self.manager.pass_names()
+    }
+
+    /// Per-pass statistics of the most recent [`Pipeline::run`].
+    pub fn statistics(&self) -> &[PassStatistics] {
+        self.manager.statistics()
+    }
+
+    /// Executes the pipeline on `func` through the [`PassManager`] and returns the
+    /// structural schedule extracted from the pipeline state.
+    ///
+    /// # Errors
+    /// Propagates pass failures and inter-pass verification failures, and fails
+    /// when the executed passes produced no schedule.
+    pub fn run(&mut self, ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp> {
+        let state = self.manager.run(ctx, func)?;
+        state.get::<ScheduleOp>().copied().ok_or_else(|| {
+            IrError::pass_failed(
+                "hida-pipeline",
+                "pipeline finished without producing a ScheduleOp \
+                 (does it include hida-lower-structural?)",
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hida_frontend::polybench::{build_kernel, PolybenchKernel};
+
+    fn twomm_func(ctx: &mut Context) -> (OpId, OpId) {
+        let module = ctx.create_module("m");
+        let func = build_kernel(ctx, module, PolybenchKernel::TwoMm, 16);
+        (module, func)
+    }
+
+    #[test]
+    fn from_options_membership_follows_toggles() {
+        let full = Pipeline::from_options(&HidaOptions::default());
+        assert_eq!(
+            full.pass_names(),
+            vec![
+                "hida-construct-dataflow",
+                "hida-task-fusion",
+                "hida-lower-structural",
+                "hida-eliminate-multi-producers",
+                "hida-tiling",
+                "hida-balance-data-paths",
+                "hida-parallelize",
+            ]
+        );
+
+        let minimal = Pipeline::from_options(&HidaOptions {
+            enable_fusion: false,
+            enable_balancing: false,
+            tile_size: None,
+            ..HidaOptions::default()
+        });
+        assert_eq!(
+            minimal.pass_names(),
+            vec![
+                "hida-construct-dataflow",
+                "hida-lower-structural",
+                "hida-parallelize",
+            ]
+        );
+    }
+
+    #[test]
+    fn pipeline_produces_schedule_and_statistics() {
+        let mut ctx = Context::new();
+        let (module, func) = twomm_func(&mut ctx);
+        let mut pipeline = Pipeline::from_options(&HidaOptions::polybench());
+        let schedule = pipeline.run(&mut ctx, func).unwrap();
+        hida_ir_core::verifier::verify(&ctx, module).unwrap();
+        assert_eq!(schedule.nodes(&ctx).len(), 2);
+        // One statistics record per executed pass, all verified.
+        assert_eq!(pipeline.statistics().len(), pipeline.len());
+        for stat in pipeline.statistics() {
+            assert!(stat.verified);
+        }
+        // Construction creates ops; the recorded deltas see it.
+        let construct_stat = &pipeline.statistics()[0];
+        assert_eq!(construct_stat.pass, "hida-construct-dataflow");
+        assert!(construct_stat.op_delta() > 0);
+    }
+
+    #[test]
+    fn structural_passes_fail_without_lowering() {
+        let mut ctx = Context::new();
+        let (_module, func) = twomm_func(&mut ctx);
+        let mut pipeline = Pipeline::new();
+        pipeline.add_pass(ConstructPass);
+        pipeline.add_pass(MultiProducerEliminationPass);
+        let err = pipeline.run(&mut ctx, func).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("hida-lower-structural"));
+        // The manager must not re-wrap the pass's own attribution.
+        assert_eq!(message.matches("failed:").count(), 1, "{message}");
+    }
+
+    #[test]
+    fn pass_options_are_recorded_in_statistics() {
+        let mut ctx = Context::new();
+        let (_module, func) = twomm_func(&mut ctx);
+        let options = HidaOptions {
+            tile_size: Some(4),
+            ..HidaOptions::polybench()
+        };
+        let mut pipeline = Pipeline::from_options(&options);
+        pipeline.run(&mut ctx, func).unwrap();
+        let tiling = pipeline
+            .statistics()
+            .iter()
+            .find(|s| s.pass == "hida-tiling")
+            .unwrap();
+        assert!(tiling
+            .options
+            .iter()
+            .any(|o| o.name == "tile-size" && o.value == "4"));
+        let parallelize = pipeline
+            .statistics()
+            .iter()
+            .find(|s| s.pass == "hida-parallelize")
+            .unwrap();
+        assert!(parallelize
+            .options
+            .iter()
+            .any(|o| o.name == "mode" && o.value == "IA+CA"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The pipeline-driven optimizer must produce the same schedule and QoR as the
+//! hand-rolled pass sequence it replaced (the pre-pipeline `HidaOptimizer::run`).
+//!
+//! The reference below replays that exact sequence by calling the pass-module free
+//! functions directly; the pipeline side goes through `Pipeline::from_options` and
+//! the `PassManager`. Both are compared structurally (nodes, unroll factors,
+//! partitions, buffer placement) and on the estimated QoR.
+
+use hida_dataflow_ir::structural::ScheduleOp;
+use hida_estimator::dataflow::DataflowEstimator;
+use hida_estimator::report::DesignEstimate;
+use hida_frontend::nn::{build_model, Model};
+use hida_frontend::polybench::{build_kernel, PolybenchKernel};
+use hida_ir_core::{Context, OpId};
+use hida_opt::{construct, fusion, lower, parallelize, structural_opt, tiling};
+use hida_opt::{HidaOptimizer, HidaOptions};
+
+/// One comparable snapshot of an optimized schedule.
+#[derive(Debug, PartialEq)]
+struct ScheduleSnapshot {
+    nodes: Vec<NodeSnapshot>,
+    buffers: Vec<BufferSnapshot>,
+}
+
+#[derive(Debug, PartialEq)]
+struct NodeSnapshot {
+    name: String,
+    unroll: Vec<i64>,
+    parallel_factor: i64,
+}
+
+#[derive(Debug, PartialEq)]
+struct BufferSnapshot {
+    name: String,
+    depth: i64,
+    external: bool,
+    partition_factors: Vec<i64>,
+}
+
+fn snapshot(ctx: &Context, schedule: ScheduleOp) -> ScheduleSnapshot {
+    let nodes = schedule
+        .nodes(ctx)
+        .into_iter()
+        .map(|node| {
+            let rank = hida_dialects::analysis::profile_body(ctx, node.id())
+                .loop_dims
+                .len();
+            NodeSnapshot {
+                name: node.name(ctx),
+                unroll: hida_dialects::transforms::unroll_factors_of(ctx, node.id(), rank),
+                parallel_factor: ctx.op(node.id()).attr_int("parallel_factor").unwrap_or(0),
+            }
+        })
+        .collect();
+    let buffers = schedule
+        .internal_buffers(ctx)
+        .into_iter()
+        .map(|buffer| BufferSnapshot {
+            name: buffer.name(ctx),
+            depth: buffer.depth(ctx),
+            external: buffer.memory_kind(ctx) == hida_dialects::hls::MemoryKind::External,
+            partition_factors: buffer.partition(ctx).factors,
+        })
+        .collect();
+    ScheduleSnapshot { nodes, buffers }
+}
+
+/// Replays the seed's hand-rolled optimizer sequence step by step.
+fn run_hand_rolled(
+    ctx: &mut Context,
+    func: OpId,
+    options: &HidaOptions,
+) -> ScheduleOp {
+    construct::construct_functional_dataflow(ctx, func).unwrap();
+    if options.enable_fusion {
+        fusion::fuse_tasks(ctx, func, &fusion::default_fusion_patterns()).unwrap();
+    }
+    let schedule = lower::lower_to_structural(ctx, func).unwrap();
+    if options.enable_balancing {
+        structural_opt::eliminate_multi_producers(ctx, schedule).unwrap();
+    }
+    if let Some(tile) = options.tile_size {
+        tiling::apply_tiling(ctx, schedule, tile, options.external_threshold_bytes);
+    }
+    if options.enable_balancing {
+        structural_opt::balance_data_paths(ctx, schedule, options.external_threshold_bytes)
+            .unwrap();
+    }
+    parallelize::parallelize_schedule(
+        ctx,
+        schedule,
+        options.max_parallel_factor,
+        options.mode,
+        &options.device,
+    )
+    .unwrap();
+    schedule
+}
+
+fn estimate(ctx: &Context, schedule: ScheduleOp, options: &HidaOptions) -> DesignEstimate {
+    DataflowEstimator::new(options.device.clone()).estimate_schedule(ctx, schedule, true)
+}
+
+enum TestWorkload {
+    Polybench(PolybenchKernel, i64),
+    Nn(Model),
+}
+
+fn build(ctx: &mut Context, workload: &TestWorkload) -> OpId {
+    let module = ctx.create_module("m");
+    match workload {
+        TestWorkload::Polybench(kernel, n) => build_kernel(ctx, module, *kernel, *n),
+        TestWorkload::Nn(model) => build_model(ctx, module, *model),
+    }
+}
+
+fn assert_parity(workload: TestWorkload, options: HidaOptions) {
+    // Reference: the seed's hand-rolled call sequence.
+    let mut ref_ctx = Context::new();
+    let ref_func = build(&mut ref_ctx, &workload);
+    let ref_schedule = run_hand_rolled(&mut ref_ctx, ref_func, &options);
+    let ref_snapshot = snapshot(&ref_ctx, ref_schedule);
+    let ref_estimate = estimate(&ref_ctx, ref_schedule, &options);
+
+    // Subject: the pipeline-driven optimizer.
+    let mut ctx = Context::new();
+    let func = build(&mut ctx, &workload);
+    let (schedule, statistics) = HidaOptimizer::new(options.clone())
+        .run_with_statistics(&mut ctx, func)
+        .unwrap();
+    let pipe_snapshot = snapshot(&ctx, schedule);
+    let pipe_estimate = estimate(&ctx, schedule, &options);
+
+    assert_eq!(pipe_snapshot, ref_snapshot, "schedules diverged");
+    assert_eq!(
+        pipe_estimate.throughput(),
+        ref_estimate.throughput(),
+        "throughput QoR diverged"
+    );
+    assert_eq!(
+        pipe_estimate.resources, ref_estimate.resources,
+        "resource QoR diverged"
+    );
+    assert!(!statistics.is_empty());
+}
+
+#[test]
+fn twomm_pipeline_matches_hand_rolled_sequence() {
+    assert_parity(
+        TestWorkload::Polybench(PolybenchKernel::TwoMm, 32),
+        HidaOptions::polybench(),
+    );
+}
+
+#[test]
+fn lenet_pipeline_matches_hand_rolled_sequence() {
+    assert_parity(TestWorkload::Nn(Model::LeNet), HidaOptions::dnn());
+}
+
+#[test]
+fn parity_holds_with_fusion_and_balancing_disabled() {
+    assert_parity(
+        TestWorkload::Nn(Model::LeNet),
+        HidaOptions {
+            enable_fusion: false,
+            enable_balancing: false,
+            tile_size: None,
+            ..HidaOptions::dnn()
+        },
+    );
+}

@@ -49,7 +49,7 @@ pub use entities::{Block, Region, Value, ValueDef};
 pub use error::{IrError, IrResult};
 pub use ids::{BlockId, OpId, RegionId, ValueId};
 pub use operation::{OpName, Operation};
-pub use pass::{Pass, PassManager, PassStatistics};
+pub use pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
 pub use rewrite::{apply_patterns_greedily, RewritePattern};
 pub use types::Type;
 pub use walk::{walk_ops_postorder, walk_ops_preorder, WalkOrder};

@@ -3,25 +3,142 @@
 //! HIDA-OPT is organised as a pipeline of passes over the IR (Functional dataflow
 //! construction, task fusion, lowering, structural optimization, parallelization,
 //! ...). The [`PassManager`] runs passes in order, verifies the IR between passes,
-//! and records per-pass statistics.
+//! and records per-pass [`PassStatistics`].
+//!
+//! Passes communicate through a [`PipelineState`]: a typed, heterogeneous slot map
+//! keyed by `TypeId`. A lowering pass can deposit the structural handle it produced
+//! (e.g. a `ScheduleOp`) and every later pass retrieves it by type, which keeps the
+//! `Pass` trait itself independent of any particular dialect crate.
 
 use crate::context::Context;
 use crate::error::{IrError, IrResult};
 use crate::ids::OpId;
 use crate::verifier::verify;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
 use std::time::Instant;
+
+/// Typed cross-pass state: at most one value per Rust type.
+///
+/// The slot map lets structurally-typed results (schedules, analyses, caches) flow
+/// from producing passes to consuming passes without widening the [`Pass`] trait
+/// for every new artifact kind.
+#[derive(Default)]
+pub struct PipelineState {
+    slots: HashMap<TypeId, Box<dyn Any>>,
+}
+
+impl PipelineState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value`, returning the previously stored value of the same type.
+    pub fn insert<T: Any>(&mut self, value: T) -> Option<T> {
+        self.slots
+            .insert(TypeId::of::<T>(), Box::new(value))
+            .and_then(|old| old.downcast::<T>().ok())
+            .map(|b| *b)
+    }
+
+    /// Borrows the stored value of type `T`, if any.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.slots
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Mutably borrows the stored value of type `T`, if any.
+    pub fn get_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.slots
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+
+    /// Removes and returns the stored value of type `T`, if any.
+    pub fn take<T: Any>(&mut self) -> Option<T> {
+        self.slots
+            .remove(&TypeId::of::<T>())
+            .and_then(|b| b.downcast::<T>().ok())
+            .map(|b| *b)
+    }
+
+    /// True when a value of type `T` is stored.
+    pub fn contains<T: Any>(&self) -> bool {
+        self.slots.contains_key(&TypeId::of::<T>())
+    }
+
+    /// Number of stored slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl fmt::Debug for PipelineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineState")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+/// One configured option of a pass instance (`name = value`), recorded into the
+/// pass's [`PassStatistics`] so pipeline reports show the exact configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassOption {
+    /// Option name (e.g. `"tile-size"`).
+    pub name: String,
+    /// Rendered option value (e.g. `"8"`).
+    pub value: String,
+}
+
+impl PassOption {
+    /// Creates an option from any displayable value.
+    pub fn new(name: impl Into<String>, value: impl fmt::Display) -> Self {
+        PassOption {
+            name: name.into(),
+            value: value.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PassOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
 
 /// A transformation or analysis applied to the IR rooted at a module op.
 pub trait Pass {
     /// Unique, human-readable pass name (e.g. `"hida-task-fusion"`).
     fn name(&self) -> &str;
 
-    /// Runs the pass over the IR rooted at `root`.
+    /// The instance's configured options, recorded into its statistics.
+    fn options(&self) -> Vec<PassOption> {
+        Vec::new()
+    }
+
+    /// Whether the IR should be re-verified after this pass. The pass manager's
+    /// global verification toggle must also be enabled; analysis-only passes can
+    /// return `false` to skip the redundant walk.
+    fn verify_after(&self) -> bool {
+        true
+    }
+
+    /// Runs the pass over the IR rooted at `root`. Cross-pass artifacts are
+    /// exchanged through `state`.
     ///
     /// # Errors
     /// Returns an error when the pass cannot complete; the pass manager aborts the
     /// pipeline in that case.
-    fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()>;
+    fn run(&self, ctx: &mut Context, root: OpId, state: &mut PipelineState) -> IrResult<()>;
 }
 
 /// Timing and size statistics recorded for each executed pass.
@@ -29,10 +146,42 @@ pub trait Pass {
 pub struct PassStatistics {
     /// Name of the executed pass.
     pub pass: String,
-    /// Wall-clock duration in microseconds.
+    /// Wall-clock duration in microseconds (excluding post-pass verification).
     pub micros: u128,
+    /// Number of live ops before the pass.
+    pub live_ops_before: usize,
     /// Number of live ops after the pass.
     pub live_ops_after: usize,
+    /// Whether post-pass verification ran for this pass.
+    pub verified: bool,
+    /// The pass instance's configured options.
+    pub options: Vec<PassOption>,
+}
+
+impl PassStatistics {
+    /// Net change in live op count produced by the pass (positive = ops created).
+    pub fn op_delta(&self) -> i64 {
+        self.live_ops_after as i64 - self.live_ops_before as i64
+    }
+}
+
+impl fmt::Display for PassStatistics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} us, ops {} -> {} ({:+})",
+            self.pass,
+            self.micros,
+            self.live_ops_before,
+            self.live_ops_after,
+            self.op_delta()
+        )?;
+        if !self.options.is_empty() {
+            let rendered: Vec<String> = self.options.iter().map(|o| o.to_string()).collect();
+            write!(f, " [{}]", rendered.join(", "))?;
+        }
+        Ok(())
+    }
 }
 
 /// Runs a sequence of passes with optional inter-pass verification.
@@ -80,30 +229,61 @@ impl PassManager {
         self.passes.is_empty()
     }
 
+    /// Names of the registered passes, in execution order.
+    pub fn pass_names(&self) -> Vec<String> {
+        self.passes.iter().map(|p| p.name().to_string()).collect()
+    }
+
     /// Statistics of the most recent [`PassManager::run`] invocation.
     pub fn statistics(&self) -> &[PassStatistics] {
         &self.statistics
     }
 
-    /// Runs all registered passes in order over the IR rooted at `root`.
+    /// Runs all registered passes in order over the IR rooted at `root`, returning
+    /// the final pipeline state so callers can extract produced artifacts.
     ///
     /// # Errors
     /// Propagates the first pass failure or inter-pass verification failure.
-    pub fn run(&mut self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+    pub fn run(&mut self, ctx: &mut Context, root: OpId) -> IrResult<PipelineState> {
+        let mut state = PipelineState::new();
+        self.run_with_state(ctx, root, &mut state)?;
+        Ok(state)
+    }
+
+    /// Runs all registered passes over `root` with a caller-provided state, which
+    /// may be pre-seeded with artifacts and inspected afterwards.
+    ///
+    /// # Errors
+    /// Propagates the first pass failure or inter-pass verification failure.
+    pub fn run_with_state(
+        &mut self,
+        ctx: &mut Context,
+        root: OpId,
+        state: &mut PipelineState,
+    ) -> IrResult<()> {
         self.statistics.clear();
         for pass in &self.passes {
+            let live_ops_before = ctx.num_live_ops();
             let start = Instant::now();
-            pass.run(ctx, root)
-                .map_err(|e| IrError::pass_failed(pass.name(), e.to_string()))?;
-            if self.verify_each {
+            pass.run(ctx, root, state).map_err(|e| match e {
+                // Don't re-wrap errors the pass already attributed to itself.
+                IrError::PassFailed { pass: ref p, .. } if p == pass.name() => e,
+                other => IrError::pass_failed(pass.name(), other.to_string()),
+            })?;
+            let micros = start.elapsed().as_micros();
+            let verified = self.verify_each && pass.verify_after();
+            if verified {
                 verify(ctx, root).map_err(|e| {
                     IrError::pass_failed(pass.name(), format!("post-pass verification: {e}"))
                 })?;
             }
             self.statistics.push(PassStatistics {
                 pass: pass.name().to_string(),
-                micros: start.elapsed().as_micros(),
+                micros,
+                live_ops_before,
                 live_ops_after: ctx.num_live_ops(),
+                verified,
+                options: pass.options(),
             });
         }
         Ok(())
@@ -124,12 +304,22 @@ mod tests {
         fn name(&self) -> &str {
             "count-constants"
         }
-        fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+        fn options(&self) -> Vec<PassOption> {
+            vec![PassOption::new("expected", self.expected)]
+        }
+        fn verify_after(&self) -> bool {
+            // Analysis-only: nothing to re-verify.
+            false
+        }
+        fn run(&self, ctx: &mut Context, root: OpId, _state: &mut PipelineState) -> IrResult<()> {
             let n = ctx.collect_ops(root, "arith.constant").len();
             if n == self.expected {
                 Ok(())
             } else {
-                Err(IrError::verification(format!("expected {} constants, found {n}", self.expected)))
+                Err(IrError::verification(format!(
+                    "expected {} constants, found {n}",
+                    self.expected
+                )))
             }
         }
     }
@@ -140,13 +330,19 @@ mod tests {
         fn name(&self) -> &str {
             "erase-constants"
         }
-        fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+        fn run(&self, ctx: &mut Context, root: OpId, state: &mut PipelineState) -> IrResult<()> {
+            let mut erased = 0_usize;
             for op in ctx.collect_ops(root, "arith.constant") {
                 ctx.erase_op(op);
+                erased += 1;
             }
+            state.insert(ErasedCount(erased));
             Ok(())
         }
     }
+
+    #[derive(Debug, PartialEq)]
+    struct ErasedCount(usize);
 
     fn module_with_constants(ctx: &mut Context, n: usize) -> OpId {
         let module = ctx.create_module("m");
@@ -168,10 +364,18 @@ mod tests {
         pm.add_pass(Box::new(CountConstantsPass { expected: 0 }));
         assert_eq!(pm.len(), 3);
         assert!(!pm.is_empty());
-        pm.run(&mut ctx, module).unwrap();
+        assert_eq!(
+            pm.pass_names(),
+            vec!["count-constants", "erase-constants", "count-constants"]
+        );
+        let state = pm.run(&mut ctx, module).unwrap();
         assert_eq!(pm.statistics().len(), 3);
         assert_eq!(pm.statistics()[0].pass, "count-constants");
-        assert!(pm.statistics()[1].live_ops_after < pm.statistics()[0].live_ops_after);
+        assert!(pm.statistics()[1].live_ops_after < pm.statistics()[1].live_ops_before);
+        assert_eq!(pm.statistics()[1].op_delta(), -3);
+        assert_eq!(pm.statistics()[0].op_delta(), 0);
+        // The erase pass deposited its artifact into the pipeline state.
+        assert_eq!(state.get::<ErasedCount>(), Some(&ErasedCount(3)));
     }
 
     #[test]
@@ -194,7 +398,12 @@ mod tests {
             fn name(&self) -> &str {
                 "break-ir"
             }
-            fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+            fn run(
+                &self,
+                ctx: &mut Context,
+                root: OpId,
+                _state: &mut PipelineState,
+            ) -> IrResult<()> {
                 // Erase a constant that still has users, leaving a dangling operand.
                 let consts = ctx.collect_ops(root, "arith.constant");
                 let c = consts[0];
@@ -217,5 +426,53 @@ mod tests {
         let mut pm2 = PassManager::new().with_verification(false);
         pm2.add_pass(Box::new(BreakIrPass));
         assert!(pm2.run(&mut ctx2, module2).is_ok());
+        assert!(!pm2.statistics()[0].verified);
+    }
+
+    #[test]
+    fn per_pass_verification_toggle_is_respected() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 1);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(CountConstantsPass { expected: 1 }));
+        pm.add_pass(Box::new(EraseConstantsPass));
+        pm.run(&mut ctx, module).unwrap();
+        // The analysis pass opted out of verification, the transform did not.
+        assert!(!pm.statistics()[0].verified);
+        assert!(pm.statistics()[1].verified);
+    }
+
+    #[test]
+    fn pipeline_state_slots_are_typed() {
+        let mut state = PipelineState::new();
+        assert!(state.is_empty());
+        assert_eq!(state.insert(3_i64), None);
+        assert_eq!(state.insert("hello"), None);
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.get::<i64>(), Some(&3));
+        assert!(state.contains::<&str>());
+        assert!(!state.contains::<f64>());
+        // Replacing returns the old value; taking empties the slot.
+        assert_eq!(state.insert(4_i64), Some(3));
+        *state.get_mut::<i64>().unwrap() += 1;
+        assert_eq!(state.take::<i64>(), Some(5));
+        assert!(!state.contains::<i64>());
+    }
+
+    #[test]
+    fn statistics_and_options_render_for_reports() {
+        let stats = PassStatistics {
+            pass: "hida-tiling".into(),
+            micros: 120,
+            live_ops_before: 10,
+            live_ops_after: 14,
+            verified: true,
+            options: vec![PassOption::new("tile-size", 8)],
+        };
+        let rendered = stats.to_string();
+        assert!(rendered.contains("hida-tiling"));
+        assert!(rendered.contains("10 -> 14 (+4)"));
+        assert!(rendered.contains("tile-size=8"));
+        assert_eq!(stats.op_delta(), 4);
     }
 }

@@ -1,0 +1,236 @@
+//! Minimal stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to a crate registry, so this shim provides
+//! the subset of proptest used by the repository's property-based tests: range and
+//! tuple strategies, [`collection::vec`], [`sample::select`], and the [`proptest!`],
+//! [`prop_assume!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Sampling is driven by a deterministic xorshift generator with a fixed seed, so
+//! every run explores the same [`NUM_CASES`] inputs. That trades proptest's
+//! shrinking and adaptive exploration for reproducibility, which is the right fit
+//! for CI without third-party dependencies.
+
+use std::ops::Range;
+
+/// Number of sampled cases per property.
+pub const NUM_CASES: usize = 64;
+
+/// Deterministic xorshift64* generator used to drive sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the default generator with a fixed seed.
+    pub fn default_rng() -> Self {
+        TestRng {
+            state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// A source of sampled values for one property argument.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "strategy range {}..{} is empty",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(
+                self.size.start < self.size.end,
+                "vec size range {}..{} is empty",
+                self.size.start,
+                self.size.end
+            );
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly among a fixed set of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses one of `options` per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].clone()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Strategy, TestRng};
+}
+
+/// Declares property tests: each `fn` is run [`NUM_CASES`] times with freshly
+/// sampled arguments. Attributes (including `#[test]`) and doc comments pass
+/// through to the generated zero-argument function.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::default_rng();
+                for _ in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // The closure gives `prop_assume!` an early-exit scope.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> () { $body })();
+                }
+            }
+        )+
+    };
+}
+
+/// Skips the current sampled case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Asserts a property over the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality over the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_stay_in_bounds(x in -8_i64..8, y in 0_u32..5) {
+            prop_assert!((-8..8).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        /// Tuple, vec and select strategies compose.
+        #[test]
+        fn composite_strategies_work(
+            pair in (0_i64..10, 0_i64..10),
+            v in prop::collection::vec(1_i64..4, 1..5),
+            choice in prop::sample::select(vec![8_u32, 16, 32]),
+        ) {
+            prop_assume!(pair.0 != 9);
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| (1..4).contains(&e)));
+            prop_assert!([8, 16, 32].contains(&choice));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::default_rng();
+        let mut b = TestRng::default_rng();
+        for _ in 0..10 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -124,7 +124,7 @@ fn interpret_op(
     match name {
         n if n == hida_ir_core::op_names::CONSTANT => {
             let value = operation
-                .attr(&"value".to_string())
+                .attr("value")
                 .and_then(|a| a.as_float())
                 .unwrap_or(0.0);
             env.insert(operation.results[0], value);
