@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus lint gate. Run from the repository root.
+# Mirrors .github/workflows/ci.yml so local runs match CI.
 set -euo pipefail
 
 echo "==> cargo build --release"
@@ -13,5 +14,22 @@ cargo test --benches -q -- --test
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> hida-opt CLI ablation matrix on TwoMm (one pipeline string per variant)"
+ablations=(
+  "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
+  "construct,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
+  "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance"
+  "construct,fusion,lower,tiling{factor=4},parallelize"
+  "construct,lower,parallelize{max-factor=8,mode=Naive,device=zu3eg}"
+)
+for pipeline in "${ablations[@]}"; do
+  echo "    -> ${pipeline}"
+  cargo run --release -q -p hida-opt --bin hida-opt -- \
+    --workload two_mm --pipeline "${pipeline}" > /dev/null
+done
 
 echo "CI OK"

@@ -21,7 +21,10 @@ pub const DNNBUILDER_DSP_BUDGET: f64 = 0.45;
 /// are unsupported because of shortcut paths and depthwise convolutions; the MLP has
 /// no convolution layers to map onto its CNN pipeline).
 pub fn supports(model: Model) -> bool {
-    matches!(model, Model::ZfNet | Model::Vgg16 | Model::TinyYolo | Model::LeNet)
+    matches!(
+        model,
+        Model::ZfNet | Model::Vgg16 | Model::TinyYolo | Model::LeNet
+    )
 }
 
 /// Analytic estimate of a DNNBuilder design for a model with `macs_per_sample`

@@ -96,14 +96,20 @@ pub fn lenet_design_point(config: LenetConfig, device: &FpgaDevice) -> IrResult<
     let mut estimate = estimator.estimate_schedule(&ctx, schedule, config.dataflow);
     // Batched execution: the pipeline amortizes per-frame latency over the batch.
     if config.batch > 1 && config.dataflow {
-        estimate.interval_cycles =
-            (estimate.interval_cycles as f64 / (1.0 + 0.05 * (config.batch - 1) as f64).min(2.0))
-                as i64;
+        estimate.interval_cycles = (estimate.interval_cycles as f64
+            / (1.0 + 0.05 * (config.batch - 1) as f64).min(2.0))
+            as i64;
         estimate.interval_cycles = estimate.interval_cycles.max(1);
     }
     estimate.name = format!(
         "lenet[b{} k{}/{}/{} c{}/{} df={}]",
-        config.batch, config.kpf1, config.kpf2, config.kpf3, config.cpf2, config.cpf3, config.dataflow
+        config.batch,
+        config.kpf1,
+        config.kpf2,
+        config.kpf3,
+        config.cpf2,
+        config.cpf3,
+        config.dataflow
     );
     Ok(estimate)
 }
@@ -168,7 +174,11 @@ mod tests {
     fn expert_design_fits_the_pynq_and_runs_tens_of_kimages() {
         let device = FpgaDevice::pynq_z2();
         let expert = lenet_design_point(LenetConfig::expert(), &device).unwrap();
-        assert!(expert.throughput() > 1_000.0, "throughput {}", expert.throughput());
+        assert!(
+            expert.throughput() > 1_000.0,
+            "throughput {}",
+            expert.throughput()
+        );
         assert!(expert.utilization > 0.0);
     }
 

@@ -11,11 +11,11 @@
 //! * it cannot compile models with irregular convolutions or high-resolution inputs
 //!   (ZFNet, YOLO).
 
+use hida_dataflow_ir::structural::ScheduleOp;
+use hida_estimator::device::FpgaDevice;
 use hida_frontend::nn::Model;
 use hida_ir_core::{Context, IrResult, OpId};
 use hida_opt::{construct, lower, parallelize, ParallelMode};
-use hida_dataflow_ir::structural::ScheduleOp;
-use hida_estimator::device::FpgaDevice;
 
 /// Returns true when the ScaleHLS baseline supports the model (the paper reports no
 /// results for ZFNet and YOLO).
@@ -37,7 +37,13 @@ pub fn compile(
     // No task fusion, no multi-producer elimination, no balancing, no tiling.
     let schedule = lower::lower_to_structural(ctx, func)?;
     // Per-task intensity-aware DSE without connection awareness.
-    parallelize::parallelize_schedule(ctx, schedule, max_parallel_factor, ParallelMode::IaOnly, device)?;
+    parallelize::parallelize_schedule(
+        ctx,
+        schedule,
+        max_parallel_factor,
+        ParallelMode::IaOnly,
+        device,
+    )?;
     Ok(schedule)
 }
 

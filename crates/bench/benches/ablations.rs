@@ -20,7 +20,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("fusion_on", |b| {
         b.iter(|| {
             throughput_with(
-                HidaOptions { enable_fusion: true, ..HidaOptions::dnn() },
+                HidaOptions {
+                    enable_fusion: true,
+                    ..HidaOptions::dnn()
+                },
                 Workload::Model(Model::LeNet),
             )
         })
@@ -28,7 +31,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("fusion_off", |b| {
         b.iter(|| {
             throughput_with(
-                HidaOptions { enable_fusion: false, ..HidaOptions::dnn() },
+                HidaOptions {
+                    enable_fusion: false,
+                    ..HidaOptions::dnn()
+                },
                 Workload::Model(Model::LeNet),
             )
         })
@@ -36,7 +42,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("balancing_on", |b| {
         b.iter(|| {
             throughput_with(
-                HidaOptions { enable_balancing: true, ..HidaOptions::polybench() },
+                HidaOptions {
+                    enable_balancing: true,
+                    ..HidaOptions::polybench()
+                },
                 Workload::PolybenchSized(PolybenchKernel::ThreeMm, 32),
             )
         })
@@ -44,7 +53,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("balancing_off", |b| {
         b.iter(|| {
             throughput_with(
-                HidaOptions { enable_balancing: false, ..HidaOptions::polybench() },
+                HidaOptions {
+                    enable_balancing: false,
+                    ..HidaOptions::polybench()
+                },
                 Workload::PolybenchSized(PolybenchKernel::ThreeMm, 32),
             )
         })
@@ -56,7 +68,10 @@ fn bench_ablations(c: &mut Criterion) {
             |b, &m| {
                 b.iter(|| {
                     throughput_with(
-                        HidaOptions { mode: m, ..HidaOptions::dnn() },
+                        HidaOptions {
+                            mode: m,
+                            ..HidaOptions::dnn()
+                        },
                         Workload::Model(Model::LeNet),
                     )
                 })
@@ -67,11 +82,19 @@ fn bench_ablations(c: &mut Criterion) {
 
     // One-shot printed comparison used by EXPERIMENTS.md.
     let iaca = throughput_with(
-        HidaOptions { mode: ParallelMode::IaCa, max_parallel_factor: 64, ..HidaOptions::dnn() },
+        HidaOptions {
+            mode: ParallelMode::IaCa,
+            max_parallel_factor: 64,
+            ..HidaOptions::dnn()
+        },
         Workload::Model(Model::LeNet),
     );
     let naive = throughput_with(
-        HidaOptions { mode: ParallelMode::Naive, max_parallel_factor: 64, ..HidaOptions::dnn() },
+        HidaOptions {
+            mode: ParallelMode::Naive,
+            max_parallel_factor: 64,
+            ..HidaOptions::dnn()
+        },
         Workload::Model(Model::LeNet),
     );
     println!("LeNet @pf=64: IA+CA {iaca:.1} samples/s vs Naive {naive:.1} samples/s");

@@ -10,15 +10,19 @@ fn bench_dnn_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("table8_dnn_compile");
     group.sample_size(10);
     for model in [Model::LeNet, Model::Mlp, Model::MobileNetV1] {
-        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, &m| {
-            b.iter(|| {
-                Compiler::dnn_defaults()
-                    .compile(Workload::Model(m))
-                    .unwrap()
-                    .estimate
-                    .dsp_efficiency()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &model,
+            |b, &m| {
+                b.iter(|| {
+                    Compiler::dnn_defaults()
+                        .compile(Workload::Model(m))
+                        .unwrap()
+                        .estimate
+                        .dsp_efficiency()
+                });
+            },
+        );
     }
     group.finish();
 }

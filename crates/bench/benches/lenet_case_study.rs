@@ -11,7 +11,11 @@ fn bench_lenet(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_lenet_case_study");
     group.sample_size(10);
     group.bench_function("manual_design_point", |b| {
-        b.iter(|| lenet_design_point(LenetConfig::expert(), &device).unwrap().throughput())
+        b.iter(|| {
+            lenet_design_point(LenetConfig::expert(), &device)
+                .unwrap()
+                .throughput()
+        })
     });
     group.bench_function("hida_automated_compile", |b| {
         b.iter(|| {

@@ -14,15 +14,19 @@ fn bench_polybench(c: &mut Criterion) {
         PolybenchKernel::Mvt,
         PolybenchKernel::Gesummv,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
-            b.iter(|| {
-                Compiler::polybench_defaults()
-                    .compile(Workload::PolybenchSized(k, 32))
-                    .unwrap()
-                    .estimate
-                    .throughput()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &k| {
+                b.iter(|| {
+                    Compiler::polybench_defaults()
+                        .compile(Workload::PolybenchSized(k, 32))
+                        .unwrap()
+                        .estimate
+                        .throughput()
+                });
+            },
+        );
     }
     group.finish();
 

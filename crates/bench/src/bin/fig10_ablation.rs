@@ -4,12 +4,23 @@
 //! count and throughput for every combination. Pass `--full` for the paper's full
 //! sweep (parallel factor 1-256, tile 2-32); the default uses a reduced grid.
 //!
-//! Every design point runs through the declarative pass pipeline assembled by
-//! `Pipeline::from_options`; the tile-size axis is pure pass configuration (the
-//! `hida-tiling` pass instance), and the per-pass compile-time breakdown of the
-//! last design point is printed at the end.
+//! Every ablation variant is a *pipeline string* handed to the pass registry —
+//! the same text the `hida-opt` CLI accepts — so each design point documents its
+//! exact flow. The per-pass compile-time breakdown of the last design point is
+//! printed at the end.
 
 use hida::{Compiler, HidaOptions, Model, Workload};
+
+/// The Figure 10 variant: the full HIDA flow with the swept tile size and
+/// parallel factor as pass options.
+fn variant(parallel_factor: i64, tile_size: i64) -> String {
+    format!(
+        "construct,fusion,lower,multi-producer-elim,\
+         tiling{{factor={tile_size},external-threshold-bytes=65536}},\
+         balance{{external-threshold-bytes=65536}},\
+         parallelize{{max-factor={parallel_factor},mode=IA+CA,device=vu9p-slr}}"
+    )
+}
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -18,19 +29,20 @@ fn main() {
     } else {
         vec![1, 8, 64, 256]
     };
-    let tile_sizes: Vec<i64> = if full { vec![2, 4, 8, 16, 32] } else { vec![2, 8, 32] };
+    let tile_sizes: Vec<i64> = if full {
+        vec![2, 4, 8, 16, 32]
+    } else {
+        vec![2, 8, 32]
+    };
 
     println!("# Figure 10 — ResNet-18 parallel factor x tile size ablation (VU9P SLR)");
+    println!("# variant pipeline: {}", variant(256, 32));
     println!("parallel_factor, tile_size, dsp, bram_18k, throughput_samples_per_s");
     let mut last_statistics = Vec::new();
     for &pf in &parallel_factors {
         for &tile in &tile_sizes {
-            let options = HidaOptions {
-                max_parallel_factor: pf,
-                tile_size: Some(tile),
-                ..HidaOptions::dnn()
-            };
-            let result = Compiler::new(options)
+            let result = Compiler::new(HidaOptions::dnn())
+                .with_pipeline(variant(pf, tile))
                 .compile(Workload::Model(Model::ResNet18))
                 .expect("resnet compilation");
             println!(

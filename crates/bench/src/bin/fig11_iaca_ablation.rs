@@ -4,11 +4,24 @@
 //! factor, reports DSP count, BRAM count and throughput. Pass `--full` for the full
 //! factor sweep.
 //!
-//! The ablation axis is plain pass configuration: every design point runs the
-//! declarative pipeline from `Pipeline::from_options`, whose `hida-parallelize`
-//! pass instance carries the mode, as the recorded pass statistics show.
+//! The ablation axis is a *pipeline string*: each variant is the full DNN flow
+//! with the strategy carried in the `parallelize{mode=...}` pass option — the
+//! same text the `hida-opt` CLI accepts — as the printed pipeline of the sample
+//! variant shows.
 
 use hida::{Compiler, HidaOptions, Model, ParallelMode, Workload};
+
+/// The Figure 11 variant: the full DNN flow with the ablated parallelization
+/// mode and the swept parallel factor as pass options.
+fn variant(mode: ParallelMode, parallel_factor: i64) -> String {
+    format!(
+        "construct,fusion,lower,multi-producer-elim,\
+         tiling{{factor=16,external-threshold-bytes=65536}},\
+         balance{{external-threshold-bytes=65536}},\
+         parallelize{{max-factor={parallel_factor},mode={},device=vu9p-slr}}",
+        mode.label()
+    )
+}
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -28,12 +41,8 @@ fn main() {
     println!("mode, parallel_factor, dsp, bram_18k, throughput_samples_per_s");
     for &mode in &modes {
         for &pf in &parallel_factors {
-            let options = HidaOptions {
-                max_parallel_factor: pf,
-                mode,
-                ..HidaOptions::dnn()
-            };
-            let result = Compiler::new(options)
+            let result = Compiler::new(HidaOptions::dnn())
+                .with_pipeline(variant(mode, pf))
                 .compile(Workload::Model(Model::ResNet18))
                 .expect("resnet compilation");
             println!(
@@ -46,15 +55,14 @@ fn main() {
         }
     }
 
-    // The mode is carried as an option of the hida-parallelize pass instance.
-    let sample = Compiler::new(HidaOptions {
-        mode: ParallelMode::CaOnly,
-        ..HidaOptions::dnn()
-    })
-    .compile(Workload::Model(Model::LeNet))
-    .expect("lenet compilation");
-    println!("\n# Pipeline of the CA-only variant");
-    for stat in &sample.pass_statistics {
+    // The mode is plain pass configuration inside the pipeline string.
+    let sample = variant(ParallelMode::CaOnly, 256);
+    println!("\n# Pipeline of the CA-only variant\n{sample}");
+    let result = Compiler::new(HidaOptions::dnn())
+        .with_pipeline(sample)
+        .compile(Workload::Model(Model::LeNet))
+        .expect("lenet compilation");
+    for stat in &result.pass_statistics {
         println!("{stat}");
     }
 }

@@ -27,7 +27,10 @@ fn main() {
         }
     }
 
-    println!("# Figure 1 — LeNet design space (PYNQ-Z2), {} points", points.len());
+    println!(
+        "# Figure 1 — LeNet design space (PYNQ-Z2), {} points",
+        points.len()
+    );
     println!("dataflow, utilization, throughput_img_per_s");
     for (config, estimate) in &points {
         println!(

@@ -10,7 +10,12 @@ fn main() {
     let estimator = DataflowEstimator::new(device.clone());
     println!("# Figure 9 — BRAM-18K usage, HIDA vs ScaleHLS");
     println!("model, hida_bram, scalehls_bram, reduction");
-    for model in [Model::ResNet18, Model::Vgg16, Model::Mlp, Model::MobileNetV1] {
+    for model in [
+        Model::ResNet18,
+        Model::Vgg16,
+        Model::Mlp,
+        Model::MobileNetV1,
+    ] {
         if !hida::baselines::scalehls::supports(model) {
             continue;
         }

@@ -1,16 +1,16 @@
 //! Regenerates Tables 4, 5 and 6: connection maps, parallelization results and array
 //! partition results for the Listing 1 running example.
 //!
-//! Each table is produced by a declarative pass pipeline (rather than hand-rolled
-//! optimizer calls): Table 4 runs a construct→lower pipeline and analyzes the
-//! resulting schedule; Tables 5 and 6 append a `ParallelizePass` configured with the
-//! ablated parallelization mode. Per-pass statistics of the executed pipelines are
-//! printed at the end.
+//! Each table is produced by a *pipeline string* parsed through the pass
+//! registry — the same text the `hida-opt` CLI accepts: Table 4 runs
+//! `construct,lower` and analyzes the resulting schedule; Tables 5 and 6 append
+//! a `parallelize{mode=...}` invocation carrying the ablated parallelization
+//! mode. Per-pass statistics of the executed pipelines are printed at the end.
 
 use hida::dialects::transforms;
 use hida::ir::Context;
-use hida::opt::{parallelize, ConstructPass, LowerPass, ParallelizePass, ParallelMode};
-use hida::{FpgaDevice, PassStatistics, Pipeline};
+use hida::opt::{parallelize, ParallelMode};
+use hida::{registry, PassStatistics, Pipeline};
 
 fn fmt_perm(perm: &[Option<usize>]) -> String {
     let cells: Vec<String> = perm
@@ -29,23 +29,20 @@ fn fmt_scale(scale: &[Option<f64>]) -> String {
 }
 
 /// The construct→lower pipeline shared by every table (Table 4 stops here).
-fn structural_pipeline() -> Pipeline {
-    let mut pipeline = Pipeline::new();
-    pipeline.add_pass(ConstructPass);
-    pipeline.add_pass(LowerPass);
-    pipeline
+const STRUCTURAL_PIPELINE: &str = "construct,lower";
+
+/// The Table 5/6 pipeline variant: structural lowering plus a parallelization
+/// invocation carrying the ablated mode.
+fn parallelizing_variant(mode: ParallelMode) -> String {
+    format!(
+        "{STRUCTURAL_PIPELINE},parallelize{{max-factor=32,mode={},device=pynq-z2}}",
+        mode.label()
+    )
 }
 
-/// The Table 5/6 pipeline variant: structural lowering plus a parallelization pass
-/// configured with the ablated mode.
-fn parallelizing_pipeline(mode: ParallelMode, device: &FpgaDevice) -> Pipeline {
-    let mut pipeline = structural_pipeline();
-    pipeline.add_pass(ParallelizePass {
-        max_parallel_factor: 32,
-        mode,
-        device: device.clone(),
-    });
-    pipeline
+/// Parses one variant through the HIDA pass registry.
+fn pipeline_of(text: &str) -> Pipeline {
+    Pipeline::parse(&registry(), text).expect("variant pipeline parses")
 }
 
 fn listing1_schedule(
@@ -66,10 +63,8 @@ fn print_statistics(title: &str, statistics: &[PassStatistics]) {
 }
 
 fn main() {
-    let device = FpgaDevice::pynq_z2();
-
     // Table 4: connection analysis over the un-parallelized structural dataflow.
-    let mut pipeline = structural_pipeline();
+    let mut pipeline = pipeline_of(STRUCTURAL_PIPELINE);
     let (ctx, schedule) = listing1_schedule(&mut pipeline);
     let connections = parallelize::analyze_connections(&ctx, schedule);
     println!("# Table 4 — node connections of Listing 1");
@@ -94,7 +89,9 @@ fn main() {
         ParallelMode::CaOnly,
         ParallelMode::Naive,
     ] {
-        let mut pipeline = parallelizing_pipeline(mode, &device);
+        let variant = parallelizing_variant(mode);
+        let mut pipeline = pipeline_of(&variant);
+        println!("\n# Variant pipeline ({}): {variant}", mode.label());
         let (ctx, schedule) = listing1_schedule(&mut pipeline);
 
         println!("\n# Table 5 ({}) — node parallelization", mode.label());

@@ -57,7 +57,10 @@ fn main() {
             name: model.name().to_string(),
             columns: vec![
                 ("HIDA".into(), Some(hida_est.throughput())),
-                ("DNNBuilder".into(), dnnbuilder.as_ref().map(|d| d.throughput())),
+                (
+                    "DNNBuilder".into(),
+                    dnnbuilder.as_ref().map(|d| d.throughput()),
+                ),
                 ("ScaleHLS".into(), scalehls.as_ref().map(|d| d.throughput())),
             ],
         });
@@ -65,8 +68,14 @@ fn main() {
             name: model.name().to_string(),
             columns: vec![
                 ("HIDA".into(), Some(hida_est.dsp_efficiency())),
-                ("DNNBuilder".into(), dnnbuilder.as_ref().map(|d| d.dsp_efficiency())),
-                ("ScaleHLS".into(), scalehls.as_ref().map(|d| d.dsp_efficiency())),
+                (
+                    "DNNBuilder".into(),
+                    dnnbuilder.as_ref().map(|d| d.dsp_efficiency()),
+                ),
+                (
+                    "ScaleHLS".into(),
+                    scalehls.as_ref().map(|d| d.dsp_efficiency()),
+                ),
             ],
         });
     }

@@ -40,7 +40,9 @@ pub use hida_estimator::report::DesignEstimate;
 pub use hida_frontend::nn::Model;
 pub use hida_frontend::polybench::PolybenchKernel;
 pub use hida_ir_core::pass::{PassOption, PassStatistics, PipelineState};
-pub use hida_opt::{HidaOptions, ParallelMode, Pipeline};
+pub use hida_ir_core::registry::{PassRegistry, PipelineError};
+pub use hida_ir_core::PassInvocation;
+pub use hida_opt::{registry, registry_listing, HidaOptions, ParallelMode, Pipeline};
 
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::dataflow::DataflowEstimator;
@@ -95,6 +97,8 @@ pub struct CompilationResult {
 #[derive(Debug, Clone)]
 pub struct Compiler {
     options: HidaOptions,
+    /// Explicit textual pipeline overriding the options-derived flow, when set.
+    pipeline: Option<String>,
 }
 
 impl Default for Compiler {
@@ -106,7 +110,10 @@ impl Default for Compiler {
 impl Compiler {
     /// Creates a compiler with explicit options.
     pub fn new(options: HidaOptions) -> Self {
-        Compiler { options }
+        Compiler {
+            options,
+            pipeline: None,
+        }
     }
 
     /// Compiler tuned for the PolyBench kernels on the ZU3EG device (Table 7 setup).
@@ -128,6 +135,21 @@ impl Compiler {
     pub fn with_options(mut self, options: HidaOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Uses an explicit textual pass pipeline instead of the flow derived from
+    /// the options (builder style). The text is parsed through the HIDA pass
+    /// registry at compile time; the options still drive workload construction
+    /// and QoR estimation (the target device).
+    pub fn with_pipeline(mut self, text: impl Into<String>) -> Self {
+        self.pipeline = Some(text.into());
+        self
+    }
+
+    /// The explicit pipeline text, when one was set with
+    /// [`Compiler::with_pipeline`].
+    pub fn pipeline_text(&self) -> Option<&str> {
+        self.pipeline.as_deref()
     }
 
     /// Compiles a workload end to end.
@@ -163,8 +185,13 @@ impl Compiler {
         func: OpId,
     ) -> IrResult<CompilationResult> {
         let start = Instant::now();
-        let optimizer = hida_opt::HidaOptimizer::new(self.options.clone());
-        let (schedule, pass_statistics) = optimizer.run_with_statistics(&mut ctx, func)?;
+        let mut pipeline = match &self.pipeline {
+            Some(text) => Pipeline::parse(&registry(), text)
+                .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?,
+            None => Pipeline::from_options(&self.options),
+        };
+        let schedule = pipeline.run(&mut ctx, func)?;
+        let pass_statistics = pipeline.statistics().to_vec();
         hida_ir_core::verifier::verify(&ctx, module)
             .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
         let estimator = DataflowEstimator::new(self.options.device.clone());
@@ -240,6 +267,32 @@ mod tests {
         for stat in &result.pass_statistics {
             assert!(stat.live_ops_after > 0);
         }
+    }
+
+    #[test]
+    fn explicit_pipeline_overrides_the_options_flow() {
+        let result = Compiler::polybench_defaults()
+            .with_pipeline("construct,lower,parallelize{max-factor=16,device=zu3eg}")
+            .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32))
+            .unwrap();
+        let recorded: Vec<String> = result
+            .pass_statistics
+            .iter()
+            .map(|s| s.pass.clone())
+            .collect();
+        assert_eq!(
+            recorded,
+            vec![
+                "hida-construct-dataflow",
+                "hida-lower-structural",
+                "hida-parallelize",
+            ]
+        );
+        // A malformed pipeline surfaces as an error, not a panic.
+        let err = Compiler::polybench_defaults()
+            .with_pipeline("construct,,lower")
+            .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32));
+        assert!(err.is_err());
     }
 
     #[test]

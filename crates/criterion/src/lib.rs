@@ -195,9 +195,7 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
         group.bench_function("sum", |b| b.iter(|| (0..100).sum::<i64>()));
-        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| b.iter(|| n * 2));
         group.finish();
     }
 

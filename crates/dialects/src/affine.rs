@@ -91,7 +91,12 @@ impl AffineExpr {
     /// of the form `stride * d + offset` (i.e. a strided access along one loop), or
     /// `None` for constants and multi-dimension expressions.
     pub fn as_strided_dim(&self) -> Option<(usize, i64, i64)> {
-        fn collect(expr: &AffineExpr, scale: i64, dims: &mut Vec<(usize, i64)>, offset: &mut i64) -> bool {
+        fn collect(
+            expr: &AffineExpr,
+            scale: i64,
+            dims: &mut Vec<(usize, i64)>,
+            offset: &mut i64,
+        ) -> bool {
             match expr {
                 AffineExpr::Dim(d) => {
                     dims.push((*d, scale));

@@ -112,7 +112,11 @@ pub struct ComputeProfile {
 impl ComputeProfile {
     /// Product of the loop trip counts (total innermost iterations).
     pub fn total_iterations(&self) -> i64 {
-        self.loop_dims.iter().map(|d| d.trip).product::<i64>().max(1)
+        self.loop_dims
+            .iter()
+            .map(|d| d.trip)
+            .product::<i64>()
+            .max(1)
     }
 
     /// Buffers read (but not only written) by the node.
@@ -205,7 +209,13 @@ pub fn profile_body(ctx: &Context, op: OpId) -> ComputeProfile {
             if let Some(l) = LinalgOp::from_op(ctx, nested) {
                 let shape = input_shape_of(ctx, nested);
                 let lp_nested = l.profile(&shape);
-                record_linalg_accesses(ctx, nested, &lp_nested, nested == dominant_op, &mut profile);
+                record_linalg_accesses(
+                    ctx,
+                    nested,
+                    &lp_nested,
+                    nested == dominant_op,
+                    &mut profile,
+                );
             }
         }
         return profile;
@@ -289,7 +299,11 @@ fn record_linalg_accesses(
         if ctx.value_type(operand).shape().is_none() {
             continue;
         }
-        let rank = ctx.value_type(operand).shape().map(|s| s.len()).unwrap_or(0);
+        let rank = ctx
+            .value_type(operand)
+            .shape()
+            .map(|s| s.len())
+            .unwrap_or(0);
         let pattern = if use_patterns && i < lp.input_accesses.len() {
             AccessPattern {
                 dims: lp.input_accesses[i].clone(),
@@ -329,7 +343,13 @@ fn accumulate_region(
         let operation = ctx.op(nested);
         if operation.is(loops::FOR) {
             let f = ForOp(nested);
-            accumulate_region(ctx, nested, multiplier * f.trip_count(ctx).max(1), band, profile);
+            accumulate_region(
+                ctx,
+                nested,
+                multiplier * f.trip_count(ctx).max(1),
+                band,
+                profile,
+            );
             continue;
         }
         match classify(operation.name.as_str()) {
@@ -392,7 +412,9 @@ fn record_memory_access(ctx: &Context, op: OpId, band: &[ForOp], profile: &mut C
     let dims: Vec<Option<(usize, i64)>> = indices
         .iter()
         .map(|&idx| match memory::resolve_index(ctx, idx) {
-            memory::IndexExpr::Strided { loop_op, stride, .. } => band
+            memory::IndexExpr::Strided {
+                loop_op, stride, ..
+            } => band
                 .iter()
                 .position(|l| l.id() == loop_op)
                 .map(|pos| (pos, stride)),
@@ -508,7 +530,10 @@ mod tests {
     #[test]
     fn mem_effect_merge_table() {
         assert_eq!(MemEffect::Read.merge(MemEffect::Read), MemEffect::Read);
-        assert_eq!(MemEffect::Read.merge(MemEffect::Write), MemEffect::ReadWrite);
+        assert_eq!(
+            MemEffect::Read.merge(MemEffect::Write),
+            MemEffect::ReadWrite
+        );
         assert_eq!(MemEffect::Write.merge(MemEffect::Write), MemEffect::Write);
         assert!(MemEffect::ReadWrite.reads() && MemEffect::ReadWrite.writes());
         assert!(!MemEffect::Read.writes());

@@ -134,7 +134,13 @@ pub fn set_array_partition(ctx: &mut Context, buffer_op: OpId, partition: &Array
     let op = ctx.op_mut(buffer_op);
     op.set_attr(
         ATTR_PARTITION_FASHIONS,
-        Attribute::StrArray(partition.fashions.iter().map(|f| f.as_str().to_string()).collect()),
+        Attribute::StrArray(
+            partition
+                .fashions
+                .iter()
+                .map(|f| f.as_str().to_string())
+                .collect(),
+        ),
     );
     op.set_attr(
         ATTR_PARTITION_FACTORS,
@@ -161,7 +167,8 @@ pub fn get_array_partition(ctx: &Context, buffer_op: OpId, rank: usize) -> Array
 
 /// Sets the memory placement of a buffer-producing operation.
 pub fn set_memory_kind(ctx: &mut Context, buffer_op: OpId, kind: MemoryKind) {
-    ctx.op_mut(buffer_op).set_attr(ATTR_MEMORY_KIND, kind.as_str());
+    ctx.op_mut(buffer_op)
+        .set_attr(ATTR_MEMORY_KIND, kind.as_str());
 }
 
 /// Reads the memory placement of a buffer-producing operation (defaults to BRAM).

@@ -189,7 +189,11 @@ impl LinalgOp {
                 stride,
                 padding,
             } => {
-                assert_eq!(input_shape.len(), 3, "depthwise conv2d expects [C, H, W] input");
+                assert_eq!(
+                    input_shape.len(),
+                    3,
+                    "depthwise conv2d expects [C, H, W] input"
+                );
                 let h = (input_shape[1] + 2 * padding - kernel) / stride + 1;
                 let w = (input_shape[2] + 2 * padding - kernel) / stride + 1;
                 vec![*channels, h.max(1), w.max(1)]
@@ -236,7 +240,12 @@ impl LinalgOp {
                     ]],
                     // output[k][h][w]
                     result_access: vec![Some((0, 1)), Some((2, 1)), Some((3, 1))],
-                    macs: out_channels * in_channels * output_shape[1] * output_shape[2] * kernel * kernel,
+                    macs: out_channels
+                        * in_channels
+                        * output_shape[1]
+                        * output_shape[2]
+                        * kernel
+                        * kernel,
                     other_ops: 0,
                     weight_params: out_channels * in_channels * kernel * kernel,
                     output_shape,
@@ -295,7 +304,8 @@ impl LinalgOp {
                     LoopDim::new("r", *kernel, true),
                     LoopDim::new("s", *kernel, true),
                 ];
-                let window_ops = input_shape[0] * output_shape[1] * output_shape[2] * kernel * kernel;
+                let window_ops =
+                    input_shape[0] * output_shape[1] * output_shape[2] * kernel * kernel;
                 LayerProfile {
                     loop_dims,
                     input_accesses: vec![vec![
@@ -316,8 +326,7 @@ impl LinalgOp {
                     .enumerate()
                     .map(|(i, &d)| LoopDim::new(&format!("d{i}"), d, false))
                     .collect::<Vec<_>>();
-                let access: Vec<DimAccess> =
-                    (0..input_shape.len()).map(|i| Some((i, 1))).collect();
+                let access: Vec<DimAccess> = (0..input_shape.len()).map(|i| Some((i, 1))).collect();
                 LayerProfile {
                     loop_dims,
                     input_accesses: vec![access.clone()],
@@ -334,8 +343,7 @@ impl LinalgOp {
                     .enumerate()
                     .map(|(i, &d)| LoopDim::new(&format!("d{i}"), d, false))
                     .collect::<Vec<_>>();
-                let access: Vec<DimAccess> =
-                    (0..input_shape.len()).map(|i| Some((i, 1))).collect();
+                let access: Vec<DimAccess> = (0..input_shape.len()).map(|i| Some((i, 1))).collect();
                 LayerProfile {
                     loop_dims,
                     input_accesses: vec![access.clone(), access.clone()],
@@ -532,7 +540,10 @@ mod tests {
 
     #[test]
     fn pooling_and_linear_shapes() {
-        let pool = LinalgOp::MaxPool2d { kernel: 2, stride: 2 };
+        let pool = LinalgOp::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        };
         assert_eq!(pool.output_shape(&[16, 32, 32]), vec![16, 16, 16]);
         assert_eq!(pool.profile(&[16, 32, 32]).macs, 0);
 

@@ -208,12 +208,21 @@ pub fn all_loops(ctx: &Context, op: OpId) -> Vec<ForOp> {
 
 /// Total iteration count of a loop band (product of trip counts).
 pub fn band_trip_count(ctx: &Context, band: &[ForOp]) -> i64 {
-    band.iter().map(|l| l.trip_count(ctx)).product::<i64>().max(1)
+    band.iter()
+        .map(|l| l.trip_count(ctx))
+        .product::<i64>()
+        .max(1)
 }
 
 /// Creates a detached `affine.for` with the given bounds; used by transforms that
 /// splice loops into existing structures.
-pub fn create_detached_for(ctx: &mut Context, lower: i64, upper: i64, step: i64, name: &str) -> (OpId, ValueId) {
+pub fn create_detached_for(
+    ctx: &mut Context,
+    lower: i64,
+    upper: i64,
+    step: i64,
+    name: &str,
+) -> (OpId, ValueId) {
     let mut op = Operation::new(FOR);
     op.set_attr("lower_bound", lower);
     op.set_attr("upper_bound", upper);

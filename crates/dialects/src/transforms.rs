@@ -66,7 +66,8 @@ pub fn apply_unroll_factors(ctx: &mut Context, op: OpId, factors: &[i64]) -> IrR
                 .set_attr(ATTR_UNROLL_FACTORS, factors.to_vec());
         }
     }
-    ctx.op_mut(op).set_attr(ATTR_UNROLL_FACTORS, factors.to_vec());
+    ctx.op_mut(op)
+        .set_attr(ATTR_UNROLL_FACTORS, factors.to_vec());
     ctx.op_mut(op).set_attr(ATTR_PIPELINE, Attribute::Unit);
     Ok(())
 }
@@ -95,10 +96,12 @@ pub fn total_parallelism(factors: &[i64]) -> i64 {
 
 /// Records per-dimension tile sizes on `op` and on every named layer in its body.
 pub fn apply_tile_sizes(ctx: &mut Context, op: OpId, tile_sizes: &[i64]) {
-    ctx.op_mut(op).set_attr(ATTR_TILE_SIZES, tile_sizes.to_vec());
+    ctx.op_mut(op)
+        .set_attr(ATTR_TILE_SIZES, tile_sizes.to_vec());
     for nested in hida_ir_core::walk::collect_preorder(ctx, op) {
         if nested != op && linalg::LinalgOp::from_op(ctx, nested).is_some() {
-            ctx.op_mut(nested).set_attr(ATTR_TILE_SIZES, tile_sizes.to_vec());
+            ctx.op_mut(nested)
+                .set_attr(ATTR_TILE_SIZES, tile_sizes.to_vec());
         }
     }
 }
@@ -106,7 +109,9 @@ pub fn apply_tile_sizes(ctx: &mut Context, op: OpId, tile_sizes: &[i64]) {
 /// Reads the tile sizes recorded on `op`, defaulting to the full extents
 /// (i.e. "one tile covers everything") of the given rank.
 pub fn tile_sizes_of(ctx: &Context, op: OpId, _rank: usize) -> Option<Vec<i64>> {
-    ctx.op(op).attr_int_array(ATTR_TILE_SIZES).map(|v| v.to_vec())
+    ctx.op(op)
+        .attr_int_array(ATTR_TILE_SIZES)
+        .map(|v| v.to_vec())
 }
 
 #[cfg(test)]

@@ -34,7 +34,11 @@ impl DataflowEstimator {
     }
 
     /// Estimates one node of a schedule.
-    pub fn estimate_node(&self, ctx: &Context, node: hida_dataflow_ir::structural::NodeOp) -> NodeEstimate {
+    pub fn estimate_node(
+        &self,
+        ctx: &Context,
+        node: hida_dataflow_ir::structural::NodeOp,
+    ) -> NodeEstimate {
         estimate_body(ctx, node.id(), &self.device)
     }
 
@@ -342,7 +346,10 @@ mod tests {
         };
         let shallow = build(1);
         let deep = build(3);
-        assert!(shallow > deep, "shallow skip buffer must stall the pipeline");
+        assert!(
+            shallow > deep,
+            "shallow skip buffer must stall the pipeline"
+        );
     }
 
     #[test]

@@ -4,7 +4,6 @@
 //! * AMD-Xilinx ZU3EG — the PolyBench C++ kernel platform (§7.1).
 //! * One super logic region (SLR) of an AMD-Xilinx VU9P — the DNN platform (§7.2).
 
-
 /// Static description of an FPGA target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FpgaDevice {
@@ -80,6 +79,21 @@ impl FpgaDevice {
         }
     }
 
+    /// Every device in the catalog, in ascending size order.
+    pub fn catalog() -> Vec<FpgaDevice> {
+        vec![
+            FpgaDevice::pynq_z2(),
+            FpgaDevice::zu3eg(),
+            FpgaDevice::vu9p_slr(),
+        ]
+    }
+
+    /// Looks a catalog device up by its name (`"pynq-z2"`, `"zu3eg"`,
+    /// `"vu9p-slr"`), as used by the textual pipeline syntax's `device=` option.
+    pub fn by_name(name: &str) -> Option<FpgaDevice> {
+        FpgaDevice::catalog().into_iter().find(|d| d.name == name)
+    }
+
     /// Clock period in nanoseconds.
     pub fn clock_period_ns(&self) -> f64 {
         1_000.0 / self.clock_mhz
@@ -126,6 +140,14 @@ mod tests {
         assert_eq!(zu3.on_chip_bits(), 432 * 18 * 1024);
         let vu9p = FpgaDevice::vu9p_slr();
         assert!(vu9p.on_chip_bits() > zu3.on_chip_bits());
+    }
+
+    #[test]
+    fn catalog_lookup_by_name_round_trips() {
+        for device in FpgaDevice::catalog() {
+            assert_eq!(FpgaDevice::by_name(&device.name), Some(device.clone()));
+        }
+        assert_eq!(FpgaDevice::by_name("unknown-board"), None);
     }
 
     #[test]

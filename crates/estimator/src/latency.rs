@@ -34,12 +34,22 @@ pub struct BufferInfo {
 impl BufferInfo {
     /// Total partition banks.
     pub fn banks(&self) -> i64 {
-        self.partition_factors.iter().map(|&f| f.max(1)).product::<i64>().max(1)
+        self.partition_factors
+            .iter()
+            .map(|&f| f.max(1))
+            .product::<i64>()
+            .max(1)
     }
 
     /// On-chip resources occupied by this buffer.
     pub fn resources(&self) -> Resources {
-        buffer_resources(self.elements, self.bits, self.banks(), self.depth, self.kind)
+        buffer_resources(
+            self.elements,
+            self.bits,
+            self.banks(),
+            self.depth,
+            self.kind,
+        )
     }
 }
 
@@ -226,7 +236,12 @@ pub fn estimate_profile(
             if let Some((loop_idx, _stride)) = dim_access {
                 let u = unroll.get(*loop_idx).copied().unwrap_or(1).max(1);
                 required *= u;
-                let factor = info.partition_factors.get(dim_idx).copied().unwrap_or(1).max(1);
+                let factor = info
+                    .partition_factors
+                    .get(dim_idx)
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1);
                 served *= factor.min(u);
             }
         }
@@ -274,7 +289,8 @@ pub fn estimate_profile(
     } else {
         0
     };
-    let latency = compute_latency.max(transfer_latency) + if has_external { device.axi_latency } else { 0 };
+    let latency =
+        compute_latency.max(transfer_latency) + if has_external { device.axi_latency } else { 0 };
 
     // Address-generation DSP overhead for fine-grained external access.
     let addr_dsp = if has_external {
@@ -289,7 +305,9 @@ pub fn estimate_profile(
     };
 
     let resources = compute_resources(
-        profile.muls_per_iter.max(if profile.macs > 0 { 1 } else { 0 }),
+        profile
+            .muls_per_iter
+            .max(if profile.macs > 0 { 1 } else { 0 }),
         profile.adds_per_iter.max(1),
         profile.divs_per_iter,
         profile.mem_per_iter.max(2),
@@ -357,11 +375,7 @@ mod tests {
         if partition > 1 {
             for buf in [a, b_val, c] {
                 let def = ctx.value(buf).defining_op().unwrap();
-                hls::set_array_partition(
-                    ctx,
-                    def,
-                    &hls::ArrayPartition::cyclic(vec![partition]),
-                );
+                hls::set_array_partition(ctx, def, &hls::ArrayPartition::cyclic(vec![partition]));
             }
         }
         let (_loops, ivs, inner) = build_loop_nest(ctx, body, &[(0, 1024, "i")]);
@@ -439,8 +453,7 @@ mod tests {
             let c = build_alloc(&mut b, Type::memref(vec![64, 64], Type::f32()), "C");
             (a, c)
         };
-        let (_l, ivs, inner) =
-            build_loop_nest(&mut ctx, body, &[(0, 64, "i"), (0, 64, "j")]);
+        let (_l, ivs, inner) = build_loop_nest(&mut ctx, body, &[(0, 64, "i"), (0, 64, "j")]);
         let mut bld = OpBuilder::at_block_end(&mut ctx, inner);
         let x = build_load(&mut bld, a, &[ivs[0], ivs[1]]);
         let prod = arith::build_binary(&mut bld, arith::MULF, x, x);

@@ -195,7 +195,12 @@ pub fn buffer_resources(
                 return Resources::new(0, 0, (total_bits / 6).max(8), (total_bits / 12).max(4));
             }
             let bram_per_bank = (bits_per_bank_stage + 18 * 1024 - 1) / (18 * 1024);
-            Resources::new(0, bram_per_bank.max(1) * banks * depth, 30 * banks, 20 * banks)
+            Resources::new(
+                0,
+                bram_per_bank.max(1) * banks * depth,
+                30 * banks,
+                20 * banks,
+            )
         }
     }
 }

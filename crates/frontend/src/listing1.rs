@@ -49,8 +49,7 @@ pub fn build_listing1(ctx: &mut Context, module: OpId) -> Listing1 {
     };
 
     // Node0: for i in 0..32, k in 0..16: A[i][k] = i + k (a stand-in load).
-    let (n0_loops, n0_ivs, n0_inner) =
-        build_loop_nest(ctx, body, &[(0, 32, "i"), (0, 16, "k")]);
+    let (n0_loops, n0_ivs, n0_inner) = build_loop_nest(ctx, body, &[(0, 32, "i"), (0, 16, "k")]);
     {
         let mut bld = OpBuilder::at_block_end(ctx, n0_inner);
         let value = bld.create_constant_float(1.0, Type::f32());
@@ -58,8 +57,7 @@ pub fn build_listing1(ctx: &mut Context, module: OpId) -> Listing1 {
     }
 
     // Node1: for k in 0..16, j in 0..16: B[k][j] = ...
-    let (n1_loops, n1_ivs, n1_inner) =
-        build_loop_nest(ctx, body, &[(0, 16, "k"), (0, 16, "j")]);
+    let (n1_loops, n1_ivs, n1_inner) = build_loop_nest(ctx, body, &[(0, 16, "k"), (0, 16, "j")]);
     {
         let mut bld = OpBuilder::at_block_end(ctx, n1_inner);
         let value = bld.create_constant_float(2.0, Type::f32());

@@ -100,8 +100,7 @@ struct GraphBuilder<'a> {
 
 impl<'a> GraphBuilder<'a> {
     fn new(ctx: &'a mut Context, module: OpId, model: Model) -> Self {
-        let func =
-            OpBuilder::at_end_of(ctx, module).create_func(model.name(), vec![], vec![]);
+        let func = OpBuilder::at_end_of(ctx, module).create_func(model.name(), vec![], vec![]);
         let input_ty = Type::tensor(model.input_shape(), Type::i8());
         let mut b = OpBuilder::at_end_of(ctx, func);
         let (_, results) = b.create(
@@ -120,7 +119,11 @@ impl<'a> GraphBuilder<'a> {
 
     fn apply(&mut self, layer: LinalgOp, inputs: &[ValueId]) -> ValueId {
         self.layer_index += 1;
-        let name = format!("{}{}", layer.op_name().rsplit('.').next().unwrap(), self.layer_index);
+        let name = format!(
+            "{}{}",
+            layer.op_name().rsplit('.').next().unwrap(),
+            self.layer_index
+        );
         let mut b = OpBuilder::at_end_of(self.ctx, self.func);
         build_layer(&mut b, &layer, inputs, &name)
     }

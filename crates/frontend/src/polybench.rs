@@ -124,7 +124,16 @@ impl<'a> KernelBuilder<'a> {
 
     /// Emits `out[i][j] += lhs[i][k] * rhs[k][j]` over `(i, j, k)` loops.
     #[allow(clippy::too_many_arguments)]
-    fn matmul(&mut self, lhs: ValueId, rhs: ValueId, out: ValueId, n: i64, m: i64, k: i64, tag: &str) -> OpId {
+    fn matmul(
+        &mut self,
+        lhs: ValueId,
+        rhs: ValueId,
+        out: ValueId,
+        n: i64,
+        m: i64,
+        k: i64,
+        tag: &str,
+    ) -> OpId {
         let (loops, ivs, inner) = build_loop_nest(
             self.ctx,
             self.body,
@@ -146,14 +155,27 @@ impl<'a> KernelBuilder<'a> {
 
     /// Emits `out[i] += mat[i][j] * vec[j]` (or the transposed variant) over `(i, j)`.
     #[allow(clippy::too_many_arguments)]
-    fn matvec(&mut self, mat: ValueId, vec: ValueId, out: ValueId, n: i64, m: i64, transposed: bool, tag: &str) -> OpId {
+    fn matvec(
+        &mut self,
+        mat: ValueId,
+        vec: ValueId,
+        out: ValueId,
+        n: i64,
+        m: i64,
+        transposed: bool,
+        tag: &str,
+    ) -> OpId {
         let (loops, ivs, inner) = build_loop_nest(
             self.ctx,
             self.body,
             &[(0, n, &format!("{tag}_i")), (0, m, &format!("{tag}_j"))],
         );
         let mut b = OpBuilder::at_block_end(self.ctx, inner);
-        let (row, col) = if transposed { (ivs[1], ivs[0]) } else { (ivs[0], ivs[1]) };
+        let (row, col) = if transposed {
+            (ivs[1], ivs[0])
+        } else {
+            (ivs[0], ivs[1])
+        };
         let a = build_load(&mut b, mat, &[row, col]);
         let x = build_load(&mut b, vec, &[ivs[1]]);
         let prod = arith::build_binary(&mut b, arith::MULF, a, x);
@@ -168,7 +190,10 @@ impl<'a> KernelBuilder<'a> {
         let (loops, ivs, inner) = build_loop_nest(
             self.ctx,
             self.body,
-            &[(1, n - 1, &format!("{tag}_i")), (1, n - 1, &format!("{tag}_j"))],
+            &[
+                (1, n - 1, &format!("{tag}_i")),
+                (1, n - 1, &format!("{tag}_j")),
+            ],
         );
         let mut b = OpBuilder::at_block_end(self.ctx, inner);
         let center = build_load(&mut b, src, &[ivs[0], ivs[1]]);
@@ -318,7 +343,11 @@ mod tests {
             let func = build_kernel(&mut ctx, module, kernel, 32);
             let nests = top_level_loops(&ctx, func).len();
             if kernel.is_multi_loop() {
-                assert!(nests >= 2, "{} should be multi-loop, has {nests}", kernel.name());
+                assert!(
+                    nests >= 2,
+                    "{} should be multi-loop, has {nests}",
+                    kernel.name()
+                );
             } else {
                 assert_eq!(nests, 1, "{} should be single-loop", kernel.name());
             }

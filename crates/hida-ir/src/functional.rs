@@ -144,7 +144,10 @@ pub fn wrap_ops(ctx: &mut Context, ops: &[OpId], wrapper_name: &str, name_attr: 
             }
         }
     }
-    let result_types: Vec<Type> = escaping.iter().map(|&v| ctx.value_type(v).clone()).collect();
+    let result_types: Vec<Type> = escaping
+        .iter()
+        .map(|&v| ctx.value_type(v).clone())
+        .collect();
 
     // Create the wrapper op with a body.
     let mut wrapper_op = hida_ir_core::Operation::new(wrapper_name);
@@ -169,7 +172,8 @@ pub fn wrap_ops(ctx: &mut Context, ops: &[OpId], wrapper_name: &str, name_attr: 
     for (old, new) in escaping.iter().zip(&wrapper_results) {
         let users = ctx.users_of(*old);
         for user in users {
-            let inside = ops.iter().any(|&o| ctx.is_ancestor(o, user)) || ctx.is_ancestor(wrapper, user);
+            let inside =
+                ops.iter().any(|&o| ctx.is_ancestor(o, user)) || ctx.is_ancestor(wrapper, user);
             if !inside {
                 ctx.replace_uses_in_op(user, *old, *new);
             }

@@ -216,7 +216,11 @@ mod tests {
             ctx,
             body,
             "node0",
-            &[(buf0, MemEffect::Read), (buf1, MemEffect::Write), (buf3, MemEffect::Write)],
+            &[
+                (buf0, MemEffect::Read),
+                (buf1, MemEffect::Write),
+                (buf3, MemEffect::Write),
+            ],
         );
         let (n1, _) = build_node(
             ctx,

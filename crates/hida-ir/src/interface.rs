@@ -135,13 +135,17 @@ pub fn build_pack(
 /// Creates a `hida.token_push` op that signals completion over the given token
 /// stream (producer side of the elastic token flow).
 pub fn build_token_push(builder: &mut OpBuilder<'_>, stream: ValueId) -> OpId {
-    builder.create(op_names::TOKEN_PUSH, vec![stream], vec![], vec![]).0
+    builder
+        .create(op_names::TOKEN_PUSH, vec![stream], vec![], vec![])
+        .0
 }
 
 /// Creates a `hida.token_pop` op that blocks until a token is available on the given
 /// token stream (consumer side of the elastic token flow).
 pub fn build_token_pop(builder: &mut OpBuilder<'_>, stream: ValueId) -> OpId {
-    builder.create(op_names::TOKEN_POP, vec![stream], vec![], vec![]).0
+    builder
+        .create(op_names::TOKEN_POP, vec![stream], vec![], vec![])
+        .0
 }
 
 #[cfg(test)]
@@ -184,7 +188,13 @@ mod tests {
 
         let packed = {
             let mut b = OpBuilder::at_end_of(&mut ctx, func);
-            build_pack(&mut b, handle, 4096, Type::memref(vec![64, 64], Type::i8()), "blockA")
+            build_pack(
+                &mut b,
+                handle,
+                4096,
+                Type::memref(vec![64, 64], Type::i8()),
+                "blockA",
+            )
         };
         let pack_op = ctx.value(packed).defining_op().unwrap();
         assert!(ctx.op(pack_op).is(op_names::PACK));

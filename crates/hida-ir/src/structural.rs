@@ -258,12 +258,16 @@ impl NodeOp {
 
     /// Returns true when the node writes to `value`.
     pub fn writes(self, ctx: &Context, value: ValueId) -> bool {
-        self.effect_on(ctx, value).map(|e| e.writes()).unwrap_or(false)
+        self.effect_on(ctx, value)
+            .map(|e| e.writes())
+            .unwrap_or(false)
     }
 
     /// Returns true when the node reads from `value`.
     pub fn reads(self, ctx: &Context, value: ValueId) -> bool {
-        self.effect_on(ctx, value).map(|e| e.reads()).unwrap_or(false)
+        self.effect_on(ctx, value)
+            .map(|e| e.reads())
+            .unwrap_or(false)
     }
 
     /// Block arguments of the node body (one per operand).
@@ -288,10 +292,11 @@ impl NodeOp {
             .map(|v| v.to_vec())
             .unwrap_or_default();
         effects.push(effect_to_str(effect).to_string());
-        ctx.op_mut(self.0).set_attr("effects", Attribute::StrArray(effects));
+        ctx.op_mut(self.0)
+            .set_attr("effects", Attribute::StrArray(effects));
         let ty = ctx.value_type(value).clone();
         let body = self.body(ctx);
-        
+
         ctx.add_block_arg(body, ty)
     }
 
@@ -304,7 +309,8 @@ impl NodeOp {
             .collect();
         if index < effects.len() {
             effects[index] = effect_to_str(effect).to_string();
-            ctx.op_mut(self.0).set_attr("effects", Attribute::StrArray(effects));
+            ctx.op_mut(self.0)
+                .set_attr("effects", Attribute::StrArray(effects));
         }
     }
 
@@ -507,7 +513,10 @@ mod tests {
         assert!(node.writes(&ctx, bval));
         assert_eq!(node.arg_for(&ctx, a), Some(args[0]));
         assert_eq!(node.effect_on(&ctx, bval), Some(MemEffect::Write));
-        assert_eq!(ctx.value_type(args[0]), &Type::memref(vec![16], Type::f32()));
+        assert_eq!(
+            ctx.value_type(args[0]),
+            &Type::memref(vec![16], Type::f32())
+        );
 
         // Schedule-level queries.
         assert_eq!(schedule.nodes(&ctx).len(), 1);

@@ -1,0 +1,291 @@
+//! `hida-opt` — run a textual HIDA-OPT pass pipeline over a built-in workload.
+//!
+//! The CLI counterpart of `Pipeline::parse`: ablations are command-line strings
+//! instead of recompiled bench binaries.
+//!
+//! ```text
+//! hida-opt --list-passes
+//! hida-opt --list-workloads
+//! hida-opt --workload two_mm \
+//!     --pipeline "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
+//! hida-opt --workload lenet --preset dnn
+//! ```
+//!
+//! Prints the normalized pipeline, per-pass `PassStatistics`, the resulting
+//! schedule (nodes, unroll factors, buffers) and the estimated QoR.
+
+use hida_estimator::dataflow::DataflowEstimator;
+use hida_estimator::device::FpgaDevice;
+use hida_frontend::nn::{build_model, Model};
+use hida_frontend::polybench::{build_kernel, PolybenchKernel};
+use hida_ir_core::{Context, OpId};
+use hida_opt::registry::{registry, registry_listing};
+use hida_opt::{HidaOptions, Pipeline};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: hida-opt [OPTIONS]
+
+  --workload <name>     workload to compile (see --list-workloads); accepts
+                        paper names (2mm, resnet-18) and identifiers (two_mm)
+  --pipeline <text>     textual pass pipeline, e.g.
+                        \"construct,fusion,lower,tiling{factor=4},parallelize\"
+  --preset <name>       pipeline preset when --pipeline is omitted:
+                        default | polybench | dnn
+  --size <n>            PolyBench problem size (default: the kernel's own)
+  --device <name>       device for QoR estimation: pynq-z2 | zu3eg | vu9p-slr
+                        (default: the pipeline's parallelize device, else
+                        vu9p-slr)
+  --no-verify           skip inter-pass IR verification
+  --list-passes         print the pass registry and exit
+  --list-workloads      print the known workloads and exit
+  --help                print this help and exit";
+
+/// A workload resolvable from the command line.
+enum CliWorkload {
+    Polybench(PolybenchKernel),
+    Model(Model),
+}
+
+/// Lowercased name with separators removed, so `two_mm`, `TwoMm` and `2mm`
+/// collapse onto comparable keys.
+fn normalize(name: &str) -> String {
+    name.to_lowercase()
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .collect()
+}
+
+/// Additional spellings accepted for kernels whose paper name starts with a digit.
+fn kernel_aliases(kernel: PolybenchKernel) -> &'static [&'static str] {
+    match kernel {
+        PolybenchKernel::TwoMm => &["twomm"],
+        PolybenchKernel::ThreeMm => &["threemm"],
+        _ => &[],
+    }
+}
+
+fn resolve_workload(name: &str) -> Option<CliWorkload> {
+    let key = normalize(name);
+    for kernel in PolybenchKernel::all() {
+        if normalize(kernel.name()) == key || kernel_aliases(kernel).contains(&key.as_str()) {
+            return Some(CliWorkload::Polybench(kernel));
+        }
+    }
+    Model::all()
+        .into_iter()
+        .find(|m| normalize(m.name()) == key)
+        .map(CliWorkload::Model)
+}
+
+fn workload_listing() -> String {
+    let kernels: Vec<&str> = PolybenchKernel::all().iter().map(|k| k.name()).collect();
+    let models: Vec<&str> = Model::all().iter().map(|m| m.name()).collect();
+    format!(
+        "PolyBench kernels: {}\nDNN models:        {}",
+        kernels.join(", "),
+        models.join(", ")
+    )
+}
+
+#[derive(Default)]
+struct Args {
+    workload: Option<String>,
+    pipeline: Option<String>,
+    preset: Option<String>,
+    size: Option<i64>,
+    device: Option<String>,
+    no_verify: bool,
+    list_passes: bool,
+    list_workloads: bool,
+    help: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--workload" => args.workload = Some(value_of("--workload")?),
+            "--pipeline" => args.pipeline = Some(value_of("--pipeline")?),
+            "--preset" => args.preset = Some(value_of("--preset")?),
+            "--size" => {
+                let raw = value_of("--size")?;
+                let size: i64 = raw
+                    .parse()
+                    .map_err(|_| format!("--size: '{raw}' is not an integer"))?;
+                if size < 4 {
+                    return Err(format!("--size: {size} must be >= 4"));
+                }
+                args.size = Some(size);
+            }
+            "--device" => args.device = Some(value_of("--device")?),
+            "--no-verify" => args.no_verify = true,
+            "--list-passes" => args.list_passes = true,
+            "--list-workloads" => args.list_workloads = true,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn preset_text(preset: &str) -> Result<String, String> {
+    let options = match preset {
+        "default" => HidaOptions::default(),
+        "polybench" => HidaOptions::polybench(),
+        "dnn" => HidaOptions::dnn(),
+        other => {
+            return Err(format!(
+                "unknown preset '{other}' (default, polybench, dnn)"
+            ))
+        }
+    };
+    Ok(options.pipeline_text())
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let workload_name = args
+        .workload
+        .as_deref()
+        .ok_or("missing --workload (try --list-workloads)")?;
+    let workload = resolve_workload(workload_name)
+        .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing()))?;
+    let pipeline_text = match (&args.pipeline, &args.preset) {
+        (Some(_), Some(_)) => return Err("--pipeline and --preset are exclusive".to_string()),
+        (Some(text), None) => text.clone(),
+        (None, Some(preset)) => preset_text(preset)?,
+        (None, None) => preset_text("default")?,
+    };
+    let mut pipeline = Pipeline::parse(&registry(), &pipeline_text).map_err(|e| e.to_string())?;
+    if pipeline.is_empty() {
+        return Err("the pipeline is empty".to_string());
+    }
+    // Estimate QoR against the device the design was actually sized for: the
+    // parallelize pass's device option, unless --device overrides it.
+    let pipeline_device = pipeline
+        .invocations()
+        .iter()
+        .rev()
+        .find(|i| i.name == "parallelize")
+        .and_then(|i| i.options.iter().find(|o| o.name == "device"))
+        .map(|o| o.value.clone());
+    let device_name = args
+        .device
+        .clone()
+        .or(pipeline_device)
+        .unwrap_or_else(|| "vu9p-slr".to_string());
+    let device = FpgaDevice::by_name(&device_name).ok_or_else(|| {
+        let known: Vec<String> = FpgaDevice::catalog().into_iter().map(|d| d.name).collect();
+        format!(
+            "unknown device '{device_name}' (known: {})",
+            known.join(", ")
+        )
+    })?;
+    if args.no_verify {
+        pipeline = pipeline.with_verification(false);
+    }
+
+    let mut ctx = Context::new();
+    let module = ctx.create_module(workload_name);
+    let func: OpId = match workload {
+        CliWorkload::Polybench(kernel) => {
+            let size = args.size.unwrap_or_else(|| kernel.default_size());
+            println!("workload: {} (PolyBench, size {size})", kernel.name());
+            build_kernel(&mut ctx, module, kernel, size)
+        }
+        CliWorkload::Model(model) => {
+            println!("workload: {} (DNN model)", model.name());
+            build_model(&mut ctx, module, model)
+        }
+    };
+    println!("pipeline: {}", pipeline.to_text());
+
+    let schedule = pipeline.run(&mut ctx, func).map_err(|e| e.to_string())?;
+
+    println!("\n# Per-pass statistics");
+    for stat in pipeline.statistics() {
+        println!("{stat}");
+    }
+
+    println!("\n# Schedule ({} nodes)", schedule.nodes(&ctx).len());
+    for node in schedule.nodes(&ctx) {
+        let rank = hida_dialects::analysis::profile_body(&ctx, node.id())
+            .loop_dims
+            .len();
+        println!(
+            "node {:<24} intensity {:<10} parallel factor {:<5} unroll {:?}",
+            node.name(&ctx),
+            ctx.op(node.id()).attr_int("intensity").unwrap_or(0),
+            ctx.op(node.id()).attr_int("parallel_factor").unwrap_or(0),
+            hida_dialects::transforms::unroll_factors_of(&ctx, node.id(), rank),
+        );
+    }
+    for buffer in schedule.internal_buffers(&ctx) {
+        let partition = buffer.partition(&ctx);
+        println!(
+            "buffer {:<22} depth {:<3} kind {:<9} partition {:?} ({} banks)",
+            buffer.name(&ctx),
+            buffer.depth(&ctx),
+            format!("{:?}", buffer.memory_kind(&ctx)),
+            partition.factors,
+            partition.bank_count(),
+        );
+    }
+
+    let estimator = DataflowEstimator::new(device.clone());
+    let dataflow = estimator.estimate_schedule(&ctx, schedule, true);
+    let sequential = estimator.estimate_schedule(&ctx, schedule, false);
+    println!("\n# QoR estimate ({})", device.name);
+    println!(
+        "throughput: {:.3} samples/s (dataflow) vs {:.3} samples/s (sequential)",
+        dataflow.throughput(),
+        sequential.throughput()
+    );
+    println!(
+        "resources:  DSP {} / {}, BRAM-18K {} / {}, LUT {} / {}",
+        dataflow.resources.dsp,
+        device.dsp,
+        dataflow.resources.bram_18k,
+        device.bram_18k,
+        dataflow.resources.lut,
+        device.lut
+    );
+    println!("DSP efficiency: {:.1}%", 100.0 * dataflow.dsp_efficiency());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.list_passes {
+        print!("{}", registry_listing());
+        return ExitCode::SUCCESS;
+    }
+    if args.list_workloads {
+        println!("{}", workload_listing());
+        return ExitCode::SUCCESS;
+    }
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

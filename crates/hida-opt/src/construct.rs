@@ -74,9 +74,7 @@ fn build_dispatch_in(ctx: &mut Context, owner: OpId) {
     let taskable: Vec<OpId> = body_ops
         .iter()
         .copied()
-        .filter(|&op| {
-            is_compute_unit(ctx, op)
-        })
+        .filter(|&op| is_compute_unit(ctx, op))
         .collect();
     if taskable.len() < 2 {
         return;
@@ -138,11 +136,8 @@ mod tests {
         let func = build_model(&mut ctx, module, Model::LeNet);
         construct_functional_dataflow(&mut ctx, func).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
-        let dispatch = DispatchOp::try_from_op(
-            &ctx,
-            ctx.collect_ops(func, hida_ops::DISPATCH)[0],
-        )
-        .unwrap();
+        let dispatch =
+            DispatchOp::try_from_op(&ctx, ctx.collect_ops(func, hida_ops::DISPATCH)[0]).unwrap();
         // LeNet: 3 convs + 3 relus + 2 pools + flatten + 2 linears + 1 relu = 12 layers.
         let tasks = dispatch.tasks(&ctx);
         assert_eq!(tasks.len(), 12);

@@ -317,7 +317,10 @@ mod tests {
             .body_ops(fused.id())
             .iter()
             .all(|&o| !ctx.op(o).is(hida_ops::TASK)));
-        assert_eq!(ctx.collect_ops(fused.id(), hida_dialects::loops::FOR).len(), 6);
+        assert_eq!(
+            ctx.collect_ops(fused.id(), hida_dialects::loops::FOR).len(),
+            6
+        );
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
     }
 }

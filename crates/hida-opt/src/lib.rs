@@ -30,14 +30,26 @@
 //! [`PipelineState`](hida_ir_core::PipelineState) slot map.
 //!
 //! [`HidaOptimizer`] is a thin driver over that machinery: it builds the pipeline
-//! from its [`HidaOptions`] and runs it. Ablations and custom flows build their
-//! own [`Pipeline`] from the individual pass structs instead.
+//! from its [`HidaOptions`] and runs it.
+//!
+//! # Textual pipelines and the pass registry
+//!
+//! Every pass is also registered by name in the [`registry`] module, with its
+//! knobs as named options, so ablations and custom flows are plain *strings*:
+//! `Pipeline::parse(&registry(), "construct,lower,parallelize{max-factor=8}")`.
+//! [`Pipeline::from_options`] renders its options as text
+//! ([`HidaOptions::pipeline_text`]) and parses it back through the registry —
+//! one construction path for everything the syntax can express (a direct
+//! fallback covers non-catalog devices) — and [`Pipeline::to_text`] round-trips
+//! every registry-built pipeline. The `hida-opt` CLI binary exposes the same
+//! surface from the command line (`--pipeline`, `--list-passes`).
 
 pub mod construct;
 pub mod fusion;
 pub mod lower;
 pub mod parallelize;
 pub mod pipeline;
+pub mod registry;
 pub mod structural_opt;
 pub mod tiling;
 
@@ -45,6 +57,7 @@ pub use pipeline::{
     BalancePass, ConstructPass, FusionPass, LowerPass, MultiProducerEliminationPass,
     ParallelizePass, Pipeline, TilingPass,
 };
+pub use registry::{registry, registry_listing};
 
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::device::FpgaDevice;
@@ -82,6 +95,19 @@ impl ParallelMode {
             ParallelMode::IaOnly => "IA",
             ParallelMode::CaOnly => "CA",
             ParallelMode::Naive => "Naive",
+        }
+    }
+
+    /// Parses a report label back into a mode, case-insensitively; the inverse of
+    /// [`ParallelMode::label`], used by the textual pipeline syntax's `mode=`
+    /// option (`"ia+ca"` and `"iaca"` are both accepted).
+    pub fn from_label(label: &str) -> Option<ParallelMode> {
+        match label.to_ascii_lowercase().as_str() {
+            "ia+ca" | "iaca" => Some(ParallelMode::IaCa),
+            "ia" => Some(ParallelMode::IaOnly),
+            "ca" => Some(ParallelMode::CaOnly),
+            "naive" => Some(ParallelMode::Naive),
+            _ => None,
         }
     }
 }
@@ -141,6 +167,42 @@ impl HidaOptions {
             ..HidaOptions::default()
         }
     }
+
+    /// Renders these options as a textual pipeline (see [`registry`]): the single
+    /// source of truth for the standard HIDA-OPT flow. Boolean toggles become
+    /// pipeline membership, scalar knobs become pass options.
+    ///
+    /// The target device is carried *by name*, so it must be one of the catalog
+    /// devices resolvable through `FpgaDevice::by_name`.
+    pub fn pipeline_text(&self) -> String {
+        let mut passes = vec!["construct".to_string()];
+        if self.enable_fusion {
+            passes.push("fusion".to_string());
+        }
+        passes.push("lower".to_string());
+        if self.enable_balancing {
+            passes.push("multi-producer-elim".to_string());
+        }
+        if let Some(tile_size) = self.tile_size {
+            passes.push(format!(
+                "tiling{{factor={tile_size},external-threshold-bytes={}}}",
+                self.external_threshold_bytes
+            ));
+        }
+        if self.enable_balancing {
+            passes.push(format!(
+                "balance{{external-threshold-bytes={}}}",
+                self.external_threshold_bytes
+            ));
+        }
+        passes.push(format!(
+            "parallelize{{max-factor={},mode={},device={}}}",
+            self.max_parallel_factor,
+            self.mode.label(),
+            self.device.name
+        ));
+        passes.join(",")
+    }
 }
 
 /// End-to-end HIDA-OPT driver.
@@ -170,7 +232,8 @@ impl HidaOptimizer {
     /// # Errors
     /// Propagates pass failures (malformed IR, impossible constraints).
     pub fn run(&self, ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp> {
-        self.run_with_statistics(ctx, func).map(|(schedule, _)| schedule)
+        self.run_with_statistics(ctx, func)
+            .map(|(schedule, _)| schedule)
     }
 
     /// Runs the pipeline like [`HidaOptimizer::run`], additionally returning the
@@ -205,7 +268,10 @@ mod tests {
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
 
         let nodes = schedule.nodes(&ctx);
-        assert!(nodes.len() >= 2, "2mm must produce at least two dataflow nodes");
+        assert!(
+            nodes.len() >= 2,
+            "2mm must produce at least two dataflow nodes"
+        );
         // Every node received unroll factors.
         for node in &nodes {
             let f = hida_dialects::transforms::unroll_factors_of(&ctx, node.id(), 3);
@@ -216,6 +282,43 @@ mod tests {
         let with_df = est.estimate_schedule(&ctx, schedule, true);
         let without_df = est.estimate_schedule(&ctx, schedule, false);
         assert!(with_df.throughput() > without_df.throughput());
+    }
+
+    #[test]
+    fn parallel_mode_labels_round_trip() {
+        for mode in [
+            ParallelMode::IaCa,
+            ParallelMode::IaOnly,
+            ParallelMode::CaOnly,
+            ParallelMode::Naive,
+        ] {
+            assert_eq!(ParallelMode::from_label(mode.label()), Some(mode));
+        }
+        assert_eq!(ParallelMode::from_label("iaca"), Some(ParallelMode::IaCa));
+        assert_eq!(ParallelMode::from_label("NAIVE"), Some(ParallelMode::Naive));
+        assert_eq!(ParallelMode::from_label("turbo"), None);
+    }
+
+    #[test]
+    fn options_render_as_pipeline_text() {
+        assert_eq!(
+            HidaOptions::default().pipeline_text(),
+            "construct,fusion,lower,multi-producer-elim,\
+             tiling{factor=8,external-threshold-bytes=65536},\
+             balance{external-threshold-bytes=65536},\
+             parallelize{max-factor=32,mode=IA+CA,device=vu9p-slr}"
+        );
+        // Disabled toggles drop out of the text entirely.
+        let minimal = HidaOptions {
+            enable_fusion: false,
+            enable_balancing: false,
+            tile_size: None,
+            ..HidaOptions::polybench()
+        };
+        assert_eq!(
+            minimal.pipeline_text(),
+            "construct,lower,parallelize{max-factor=16,mode=IA+CA,device=zu3eg}"
+        );
     }
 
     #[test]

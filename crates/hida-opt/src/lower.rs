@@ -63,13 +63,12 @@ pub fn lower_to_structural(ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp
     // structural buffer declared inside the schedule.
     let mut buffer_of: HashMap<ValueId, ValueId> = HashMap::new();
     let mut buffer_counter = 0_usize;
-    let make_buffer =
-        |ctx: &mut Context, ty: Type, name: &str, counter: &mut usize| -> ValueId {
-            let memref_ty = ty.tensor_to_memref();
-            let mut b = OpBuilder::at_block_index(ctx, schedule_body, *counter);
-            *counter += 1;
-            build_buffer(&mut b, memref_ty, 2, name).1
-        };
+    let make_buffer = |ctx: &mut Context, ty: Type, name: &str, counter: &mut usize| -> ValueId {
+        let memref_ty = ty.tensor_to_memref();
+        let mut b = OpBuilder::at_block_index(ctx, schedule_body, *counter);
+        *counter += 1;
+        build_buffer(&mut b, memref_ty, 2, name).1
+    };
 
     // (1) memref.alloc results shared between tasks.
     for alloc in ctx.collect_ops(func, hida_dialects::memory::ALLOC) {
@@ -93,7 +92,11 @@ pub fn lower_to_structural(ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp
         let ty = ctx.value_type(value).clone();
         let buffer = make_buffer(ctx, ty, "input", &mut buffer_counter);
         let buffer_op = ctx.value(buffer).defining_op().unwrap();
-        hida_dialects::hls::set_memory_kind(ctx, buffer_op, hida_dialects::hls::MemoryKind::External);
+        hida_dialects::hls::set_memory_kind(
+            ctx,
+            buffer_op,
+            hida_dialects::hls::MemoryKind::External,
+        );
         buffer_of.insert(value, buffer);
     }
     // (3) Task results (inter-task tensors).
@@ -178,7 +181,10 @@ fn lower_task_to_node(
     // Decide the node operands: every live-in buffer plus one buffer per task result.
     let mut operands: Vec<(ValueId, MemEffect)> = Vec::new();
     let mut operand_source: Vec<ValueId> = Vec::new();
-    let push_operand = |value: ValueId, effect: MemEffect, operands: &mut Vec<(ValueId, MemEffect)>, sources: &mut Vec<ValueId>| {
+    let push_operand = |value: ValueId,
+                        effect: MemEffect,
+                        operands: &mut Vec<(ValueId, MemEffect)>,
+                        sources: &mut Vec<ValueId>| {
         if let Some(pos) = sources.iter().position(|&v| v == value) {
             operands[pos].1 = operands[pos].1.merge(effect);
         } else {
@@ -192,7 +198,10 @@ fn lower_task_to_node(
         if !ctx.is_live_in(task, access.buffer) {
             continue;
         }
-        let mapped = buffer_of.get(&access.buffer).copied().unwrap_or(access.buffer);
+        let mapped = buffer_of
+            .get(&access.buffer)
+            .copied()
+            .unwrap_or(access.buffer);
         push_operand(mapped, access.effect, &mut operands, &mut operand_source);
     }
     // Task results: written by this node.
@@ -208,7 +217,10 @@ fn lower_task_to_node(
     let mut original_of: HashMap<ValueId, ValueId> = HashMap::new();
     for access in &profile.accesses {
         if ctx.is_live_in(task, access.buffer) {
-            let mapped = buffer_of.get(&access.buffer).copied().unwrap_or(access.buffer);
+            let mapped = buffer_of
+                .get(&access.buffer)
+                .copied()
+                .unwrap_or(access.buffer);
             original_of.entry(mapped).or_insert(access.buffer);
         }
     }
@@ -311,7 +323,8 @@ fn rewrite_layers_to_destination_passing(ctx: &mut Context, node: NodeOp) {
         if let Some(dest) = dest {
             // Append the destination as the final operand and mark the op.
             ctx.add_operand(op, dest);
-            ctx.op_mut(op).set_attr("dest_passing", Attribute::Bool(true));
+            ctx.op_mut(op)
+                .set_attr("dest_passing", Attribute::Bool(true));
             // Internal consumers of the tensor result now read the destination buffer.
             ctx.replace_all_uses(result, dest);
         }
@@ -343,7 +356,11 @@ mod tests {
         let nodes = schedule.nodes(&ctx);
         assert_eq!(nodes.len(), 2);
         let buffers = schedule.internal_buffers(&ctx);
-        assert_eq!(buffers.len(), 5, "A, B, C, tmp, D become structural buffers");
+        assert_eq!(
+            buffers.len(),
+            5,
+            "A, B, C, tmp, D become structural buffers"
+        );
         // The tmp buffer is written by node0 and read by node1.
         let graph = hida_dataflow_ir::graph::DataflowGraph::from_schedule(&ctx, schedule);
         assert_eq!(graph.edges.len(), 1);
@@ -352,7 +369,9 @@ mod tests {
         // Node bodies are isolated: loops reference only block arguments.
         for node in nodes {
             assert!(ctx.live_ins(node.id()).is_empty());
-            assert!(!ctx.collect_ops(node.id(), hida_dialects::loops::FOR).is_empty());
+            assert!(!ctx
+                .collect_ops(node.id(), hida_dialects::loops::FOR)
+                .is_empty());
         }
     }
 

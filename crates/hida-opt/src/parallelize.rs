@@ -537,7 +537,11 @@ mod tests {
         let node2 = node_by_name(&ctx, schedule, "task2");
         let a_conn = connections
             .iter()
-            .find(|c| c.target == node2 && c.s_to_t_perm.iter().filter(|p| p.is_some()).count() == 2 && c.s_to_t_scale.contains(&Some(0.5)))
+            .find(|c| {
+                c.target == node2
+                    && c.s_to_t_perm.iter().filter(|p| p.is_some()).count() == 2
+                    && c.s_to_t_scale.contains(&Some(0.5))
+            })
             .expect("connection through A");
         // Permutation maps of Table 4.
         assert_eq!(a_conn.s_to_t_perm, vec![Some(0), None, Some(1)]);
@@ -628,8 +632,16 @@ mod tests {
         use hida_dialects::analysis::ProfileLoopDim;
         let profile = ComputeProfile {
             loop_dims: vec![
-                ProfileLoopDim { name: "i".into(), trip: 32, reduction: false },
-                ProfileLoopDim { name: "k".into(), trip: 16, reduction: false },
+                ProfileLoopDim {
+                    name: "i".into(),
+                    trip: 32,
+                    reduction: false,
+                },
+                ProfileLoopDim {
+                    name: "k".into(),
+                    trip: 16,
+                    reduction: false,
+                },
             ],
             ..ComputeProfile::default()
         };
@@ -644,8 +656,16 @@ mod tests {
         // Reduction dimensions are never unrolled.
         let with_reduction = ComputeProfile {
             loop_dims: vec![
-                ProfileLoopDim { name: "i".into(), trip: 16, reduction: false },
-                ProfileLoopDim { name: "k".into(), trip: 16, reduction: true },
+                ProfileLoopDim {
+                    name: "i".into(),
+                    trip: 16,
+                    reduction: false,
+                },
+                ProfileLoopDim {
+                    name: "k".into(),
+                    trip: 16,
+                    reduction: true,
+                },
             ],
             ..ComputeProfile::default()
         };

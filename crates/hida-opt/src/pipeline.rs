@@ -30,7 +30,10 @@ use crate::{HidaOptions, ParallelMode};
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::device::FpgaDevice;
 use hida_ir_core::pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
-use hida_ir_core::{Context, IrError, IrResult, OpId};
+use hida_ir_core::registry::{PassRegistry, PipelineError};
+use hida_ir_core::{
+    parse_pipeline, print_pipeline, Context, IrError, IrResult, OpId, PassInvocation,
+};
 
 /// Retrieves the schedule deposited by [`LowerPass`], failing with a diagnostic
 /// naming the requesting pass when lowering has not run yet.
@@ -221,8 +224,17 @@ impl Pass for ParallelizePass {
 
 /// A declarative HIDA-OPT pipeline: an ordered pass list executed by the shared
 /// [`PassManager`], producing a structural [`ScheduleOp`] plus per-pass statistics.
+///
+/// Pipelines are constructible three ways, all converging on the same pass set:
+/// programmatically ([`Pipeline::add_pass`]), from text
+/// ([`Pipeline::parse`], grammar `name{key=value,...},name,...`), and from
+/// [`HidaOptions`] ([`Pipeline::from_options`], which renders the options as
+/// text and parses them through the registry). Every pipeline remembers its
+/// textual form: [`Pipeline::to_text`] prints a string that re-parses to the
+/// identical configuration.
 pub struct Pipeline {
     manager: PassManager,
+    invocations: Vec<PassInvocation>,
 }
 
 impl Default for Pipeline {
@@ -236,14 +248,65 @@ impl Pipeline {
     pub fn new() -> Self {
         Pipeline {
             manager: PassManager::new(),
+            invocations: Vec::new(),
         }
+    }
+
+    /// Parses a textual pipeline through a pass registry (normally
+    /// [`crate::registry::registry`]).
+    ///
+    /// The stored invocations are *normalized*: canonical pass names, alias
+    /// option names resolved and defaults filled in, so
+    /// `Pipeline::parse(&r, &p.to_text())` reconstructs `p` exactly.
+    ///
+    /// # Errors
+    /// Returns structured [`PipelineError`]s: parse errors with position and
+    /// expected token, unknown pass names, and per-pass option failures.
+    pub fn parse(registry: &PassRegistry, text: &str) -> Result<Pipeline, PipelineError> {
+        let mut pipeline = Pipeline::new();
+        for invocation in parse_pipeline(text)? {
+            let (normalized, pass) = registry.create(&invocation)?;
+            pipeline.invocations.push(normalized);
+            pipeline.manager.add_pass(pass);
+        }
+        Ok(pipeline)
+    }
+
+    /// Prints the pipeline in the textual syntax; the inverse of
+    /// [`Pipeline::parse`] for registry-built pipelines. Passes appended through
+    /// [`Pipeline::add_pass`] are rendered under their instance name, which the
+    /// standard registry also resolves (as an alias).
+    pub fn to_text(&self) -> String {
+        print_pipeline(&self.invocations)
+    }
+
+    /// The recorded pass invocations, in execution order.
+    pub fn invocations(&self) -> &[PassInvocation] {
+        &self.invocations
     }
 
     /// Assembles the standard HIDA-OPT pipeline from compilation options.
     ///
-    /// Boolean options control pipeline membership; scalar options configure the
-    /// individual pass instances.
+    /// The primary construction path is textual: the options are rendered as
+    /// pipeline text ([`HidaOptions::pipeline_text`]) and parsed through the
+    /// pass registry, so option-built and string-built pipelines can never
+    /// drift apart. Boolean options control pipeline membership; scalar options
+    /// configure the individual pass instances.
+    ///
+    /// Options the textual syntax cannot represent — a custom [`FpgaDevice`]
+    /// outside the catalog, or knob values the registry factories reject — fall
+    /// back to direct pass construction with the exact same flow, preserving
+    /// the seed API contract that any `HidaOptions` value compiles. Such a
+    /// pipeline's [`Pipeline::to_text`] still prints, but its `device=` option
+    /// only re-parses when the device name is in the catalog.
     pub fn from_options(options: &HidaOptions) -> Self {
+        Pipeline::parse(&crate::registry::registry(), &options.pipeline_text())
+            .unwrap_or_else(|_| Pipeline::from_options_direct(options))
+    }
+
+    /// Direct (non-textual) assembly of the standard flow; the fallback for
+    /// option values the registry cannot express.
+    fn from_options_direct(options: &HidaOptions) -> Self {
         let mut pipeline = Pipeline::new();
         pipeline.add_pass(ConstructPass);
         if options.enable_fusion {
@@ -272,8 +335,11 @@ impl Pipeline {
         pipeline
     }
 
-    /// Appends a pass (builder style, for custom pipelines).
+    /// Appends a pass (builder style, for custom pipelines). The invocation is
+    /// recorded under the instance's own name and reported options.
     pub fn add_pass(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.invocations
+            .push(PassInvocation::with_options(pass.name(), pass.options()));
         self.manager.add_pass(Box::new(pass));
         self
     }
@@ -363,6 +429,89 @@ mod tests {
                 "hida-parallelize",
             ]
         );
+    }
+
+    #[test]
+    fn parse_builds_the_same_flow_as_from_options() {
+        let options = HidaOptions::polybench();
+        let from_options = Pipeline::from_options(&options);
+        let parsed =
+            Pipeline::parse(&crate::registry::registry(), &options.pipeline_text()).unwrap();
+        assert_eq!(parsed.pass_names(), from_options.pass_names());
+        assert_eq!(parsed.invocations(), from_options.invocations());
+    }
+
+    #[test]
+    fn to_text_round_trips_through_parse() {
+        let registry = crate::registry::registry();
+        for options in [
+            HidaOptions::default(),
+            HidaOptions::polybench(),
+            HidaOptions::dnn(),
+            HidaOptions {
+                enable_fusion: false,
+                mode: ParallelMode::Naive,
+                ..HidaOptions::default()
+            },
+        ] {
+            let pipeline = Pipeline::from_options(&options);
+            let reparsed = Pipeline::parse(&registry, &pipeline.to_text()).unwrap();
+            assert_eq!(reparsed.invocations(), pipeline.invocations());
+            assert_eq!(reparsed.to_text(), pipeline.to_text());
+        }
+    }
+
+    #[test]
+    fn from_options_accepts_non_catalog_devices_via_the_direct_fallback() {
+        let mut device = hida_estimator::device::FpgaDevice::vu9p_slr();
+        device.name = "custom-board".to_string();
+        device.dsp = 9000;
+        let options = HidaOptions {
+            device,
+            ..HidaOptions::default()
+        };
+        // The textual path cannot carry a non-catalog device; the fallback must
+        // still produce the full flow with the custom device wired through.
+        let pipeline = Pipeline::from_options(&options);
+        assert_eq!(pipeline.len(), 7);
+        assert!(pipeline.to_text().contains("device=custom-board"));
+
+        let mut ctx = Context::new();
+        let (module, func) = twomm_func(&mut ctx);
+        let mut pipeline = Pipeline::from_options(&options);
+        pipeline.run(&mut ctx, func).unwrap();
+        hida_ir_core::verifier::verify(&ctx, module).unwrap();
+    }
+
+    #[test]
+    fn hand_added_passes_render_under_their_instance_names() {
+        let mut pipeline = Pipeline::new();
+        pipeline.add_pass(ConstructPass);
+        pipeline.add_pass(LowerPass);
+        assert_eq!(
+            pipeline.to_text(),
+            "hida-construct-dataflow,hida-lower-structural"
+        );
+        // The standard registry resolves instance names as aliases, so even a
+        // hand-assembled pipeline's text parses back to an equivalent flow.
+        let reparsed = Pipeline::parse(&crate::registry::registry(), &pipeline.to_text()).unwrap();
+        assert_eq!(reparsed.pass_names(), pipeline.pass_names());
+    }
+
+    #[test]
+    fn parsed_pipelines_execute_like_option_built_ones() {
+        let mut ctx = Context::new();
+        let (module, func) = twomm_func(&mut ctx);
+        let mut pipeline = Pipeline::parse(
+            &crate::registry::registry(),
+            "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,\
+             parallelize{max-factor=16,mode=IA+CA,device=zu3eg}",
+        )
+        .unwrap();
+        let schedule = pipeline.run(&mut ctx, func).unwrap();
+        hida_ir_core::verifier::verify(&ctx, module).unwrap();
+        assert!(!schedule.nodes(&ctx).is_empty());
+        assert_eq!(pipeline.statistics().len(), 7);
     }
 
     #[test]

@@ -289,7 +289,11 @@ mod tests {
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
 
         let copies = copy_nodes(&ctx, schedule);
-        assert_eq!(copies.len(), 1, "the read-write producer needs a copy of the original data");
+        assert_eq!(
+            copies.len(),
+            1,
+            "the read-write producer needs a copy of the original data"
+        );
         // The copy node precedes node2 in program order.
         let nodes = schedule.nodes(&ctx);
         let copy_pos = nodes.iter().position(|n| n.id() == copies[0]).unwrap();
@@ -316,7 +320,11 @@ mod tests {
         assert_eq!(schedule.nodes(&ctx).len(), 2);
         eliminate_multi_producers(&mut ctx, schedule).unwrap();
         let nodes = schedule.nodes(&ctx);
-        assert_eq!(nodes.len(), 1, "producers of an external buffer must be merged");
+        assert_eq!(
+            nodes.len(),
+            1,
+            "producers of an external buffer must be merged"
+        );
         assert_eq!(nodes[0].name(&ctx), "w1+w2");
         assert_eq!(schedule.producers_of(&ctx, ext).len(), 1);
     }
@@ -358,7 +366,8 @@ mod tests {
         );
         balance_data_paths(&mut ctx, schedule, 1 << 20).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
-        let skip_op = BufferOp::try_from_op(&ctx, ctx.value(b_skip).defining_op().unwrap()).unwrap();
+        let skip_op =
+            BufferOp::try_from_op(&ctx, ctx.value(b_skip).defining_op().unwrap()).unwrap();
         assert!(skip_op.depth(&ctx) >= 2);
         assert_eq!(skip_op.memory_kind(&ctx), MemoryKind::Bram);
     }
@@ -401,20 +410,24 @@ mod tests {
         // Threshold far below the 64 KiB skip buffer -> soft FIFO.
         balance_data_paths(&mut ctx, schedule, 1024).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
-        let skip_op = BufferOp::try_from_op(&ctx, ctx.value(b_skip).defining_op().unwrap()).unwrap();
+        let skip_op =
+            BufferOp::try_from_op(&ctx, ctx.value(b_skip).defining_op().unwrap()).unwrap();
         assert_eq!(skip_op.memory_kind(&ctx), MemoryKind::External);
         // Token flow: the producer pushes, the consumer pops.
         assert_eq!(
-            ctx.collect_ops(n0.id(), hida_dataflow_ir::op_names::TOKEN_PUSH).len(),
+            ctx.collect_ops(n0.id(), hida_dataflow_ir::op_names::TOKEN_PUSH)
+                .len(),
             1
         );
         assert_eq!(
-            ctx.collect_ops(n2.id(), hida_dataflow_ir::op_names::TOKEN_POP).len(),
+            ctx.collect_ops(n2.id(), hida_dataflow_ir::op_names::TOKEN_POP)
+                .len(),
             1
         );
         // A token stream now exists in the schedule.
         assert_eq!(
-            ctx.collect_ops(schedule.id(), hida_dataflow_ir::op_names::STREAM).len(),
+            ctx.collect_ops(schedule.id(), hida_dataflow_ir::op_names::STREAM)
+                .len(),
             1
         );
     }
@@ -426,8 +439,18 @@ mod tests {
         let a = buffer(&mut ctx, body, "a", 16);
         let b = buffer(&mut ctx, body, "b", 16);
         let c = buffer(&mut ctx, body, "c", 16);
-        let (n1, _) = build_node(&mut ctx, body, "n1", &[(a, MemEffect::Read), (b, MemEffect::Write)]);
-        let (n2, _) = build_node(&mut ctx, body, "n2", &[(b, MemEffect::Read), (c, MemEffect::Write)]);
+        let (n1, _) = build_node(
+            &mut ctx,
+            body,
+            "n1",
+            &[(a, MemEffect::Read), (b, MemEffect::Write)],
+        );
+        let (n2, _) = build_node(
+            &mut ctx,
+            body,
+            "n2",
+            &[(b, MemEffect::Read), (c, MemEffect::Write)],
+        );
         let fused = fuse_nodes(&mut ctx, schedule, &[n1, n2]);
         assert_eq!(fused.operands(&ctx), vec![a, b, c]);
         assert_eq!(

@@ -37,7 +37,13 @@ pub fn apply_tiling(
         let tiles: Vec<i64> = profile
             .loop_dims
             .iter()
-            .map(|d| if d.reduction { d.trip } else { d.trip.min(tile_size) })
+            .map(|d| {
+                if d.reduction {
+                    d.trip
+                } else {
+                    d.trip.min(tile_size)
+                }
+            })
             .collect();
         transforms::apply_tile_sizes(ctx, node.id(), &tiles);
     }
@@ -46,8 +52,8 @@ pub fn apply_tiling(
     //    to the nodes that touch them.
     let buffers = schedule.internal_buffers(ctx);
     for buffer in buffers {
-        let bytes = buffer.num_elements(ctx) * buffer.elem_bits(ctx) as i64 / 8
-            * buffer.depth(ctx).max(1);
+        let bytes =
+            buffer.num_elements(ctx) * buffer.elem_bits(ctx) as i64 / 8 * buffer.depth(ctx).max(1);
         if bytes <= external_threshold_bytes {
             continue;
         }

@@ -2,9 +2,12 @@
 //! hand-rolled pass sequence it replaced (the pre-pipeline `HidaOptimizer::run`).
 //!
 //! The reference below replays that exact sequence by calling the pass-module free
-//! functions directly; the pipeline side goes through `Pipeline::from_options` and
-//! the `PassManager`. Both are compared structurally (nodes, unroll factors,
-//! partitions, buffer placement) and on the estimated QoR.
+//! functions directly. Two subjects are compared against it: the
+//! `Pipeline::from_options` flow (which renders the options as pipeline text and
+//! parses it through the pass registry) and an explicitly registry-built pipeline
+//! (`Pipeline::parse` of the textual form, round-tripped once through
+//! `to_text`). All are compared structurally (nodes, unroll factors, partitions,
+//! buffer placement) and on the estimated QoR.
 
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::dataflow::DataflowEstimator;
@@ -13,7 +16,7 @@ use hida_frontend::nn::{build_model, Model};
 use hida_frontend::polybench::{build_kernel, PolybenchKernel};
 use hida_ir_core::{Context, OpId};
 use hida_opt::{construct, fusion, lower, parallelize, structural_opt, tiling};
-use hida_opt::{HidaOptimizer, HidaOptions};
+use hida_opt::{registry, HidaOptimizer, HidaOptions, Pipeline};
 
 /// One comparable snapshot of an optimized schedule.
 #[derive(Debug, PartialEq)]
@@ -66,11 +69,7 @@ fn snapshot(ctx: &Context, schedule: ScheduleOp) -> ScheduleSnapshot {
 }
 
 /// Replays the seed's hand-rolled optimizer sequence step by step.
-fn run_hand_rolled(
-    ctx: &mut Context,
-    func: OpId,
-    options: &HidaOptions,
-) -> ScheduleOp {
+fn run_hand_rolled(ctx: &mut Context, func: OpId, options: &HidaOptions) -> ScheduleOp {
     construct::construct_functional_dataflow(ctx, func).unwrap();
     if options.enable_fusion {
         fusion::fuse_tasks(ctx, func, &fusion::default_fusion_patterns()).unwrap();
@@ -142,6 +141,23 @@ fn assert_parity(workload: TestWorkload, options: HidaOptions) {
         "resource QoR diverged"
     );
     assert!(!statistics.is_empty());
+
+    // Second subject: the registry-built flow, parsed from the textual pipeline
+    // and round-tripped once through to_text.
+    let text = options.pipeline_text();
+    let parsed = Pipeline::parse(&registry(), &text).expect("options text parses");
+    let mut parsed = Pipeline::parse(&registry(), &parsed.to_text()).expect("to_text re-parses");
+    let mut reg_ctx = Context::new();
+    let reg_func = build(&mut reg_ctx, &workload);
+    let reg_schedule = parsed.run(&mut reg_ctx, reg_func).unwrap();
+    assert_eq!(
+        snapshot(&reg_ctx, reg_schedule),
+        ref_snapshot,
+        "registry-built schedule diverged from the hand-rolled reference"
+    );
+    let reg_estimate = estimate(&reg_ctx, reg_schedule, &options);
+    assert_eq!(reg_estimate.throughput(), ref_estimate.throughput());
+    assert_eq!(reg_estimate.resources, ref_estimate.resources);
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! Snapshot test of the `hida-opt --list-passes` output.
+//!
+//! The listing is produced by `registry_listing()` — the exact function the CLI
+//! binary prints — and pinned against `tests/snapshots/registry_listing.snap`.
+//! When a pass or option is added or reworded, regenerate the snapshot with
+//! `cargo run -p hida-opt --bin hida-opt -- --list-passes > \
+//!  crates/hida-opt/tests/snapshots/registry_listing.snap` and review the diff.
+
+use hida_opt::{registry, registry_listing};
+
+const SNAPSHOT: &str = include_str!("snapshots/registry_listing.snap");
+
+#[test]
+fn listing_matches_the_snapshot() {
+    let listing = registry_listing();
+    if listing != SNAPSHOT {
+        // A line-by-line diff makes snapshot drift reviewable from the test log.
+        for (i, (got, want)) in listing.lines().zip(SNAPSHOT.lines()).enumerate() {
+            assert_eq!(got, want, "listing line {} drifted", i + 1);
+        }
+        assert_eq!(
+            listing.lines().count(),
+            SNAPSHOT.lines().count(),
+            "listing gained or lost lines"
+        );
+        panic!("listing differs from snapshot in whitespace only");
+    }
+}
+
+#[test]
+fn snapshot_covers_every_registered_pass_and_option() {
+    // Guards against a stale snapshot that still matches structurally: every
+    // canonical name, alias and option of the live registry must appear.
+    for spec in registry().specs().iter() {
+        assert!(
+            SNAPSHOT.contains(spec.name()),
+            "missing pass {}",
+            spec.name()
+        );
+        for alias in spec.aliases() {
+            assert!(SNAPSHOT.contains(alias.as_str()), "missing alias {alias}");
+        }
+        for option in spec.options() {
+            assert!(
+                SNAPSHOT.contains(option.name.as_str()),
+                "missing option {}",
+                option.name
+            );
+        }
+    }
+}

@@ -228,7 +228,10 @@ mod tests {
         assert_eq!(Attribute::from(7_i64), Attribute::Int(7));
         assert_eq!(Attribute::from(true), Attribute::Bool(true));
         assert_eq!(Attribute::from("cyclic"), Attribute::Str("cyclic".into()));
-        assert_eq!(Attribute::from(vec![1_i64, 2]), Attribute::IntArray(vec![1, 2]));
+        assert_eq!(
+            Attribute::from(vec![1_i64, 2]),
+            Attribute::IntArray(vec![1, 2])
+        );
         assert_eq!(Attribute::from(Type::i8()), Attribute::TypeAttr(Type::i8()));
     }
 

@@ -175,7 +175,8 @@ mod tests {
     fn builder_inserts_in_order_and_advances() {
         let mut ctx = Context::new();
         let module = ctx.create_module("m");
-        let func = OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![Type::i32()], vec![]);
+        let func =
+            OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![Type::i32()], vec![]);
         let body = ctx.body_block(func);
         assert_eq!(ctx.block(body).args.len(), 1);
 

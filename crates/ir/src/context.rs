@@ -9,8 +9,8 @@ use crate::attributes::Attribute;
 use crate::entities::{Block, Region, Value, ValueDef};
 use crate::error::{IrError, IrResult};
 use crate::ids::{BlockId, OpId, RegionId, ValueId};
-use crate::operation::{OpName, Operation};
 use crate::op_names;
+use crate::operation::{OpName, Operation};
 use crate::types::Type;
 use std::collections::HashMap;
 
@@ -450,9 +450,7 @@ impl Context {
     /// live-in of `op`'s regions). Values defined by `op` itself count as live-ins.
     pub fn is_live_in(&self, op: OpId, value: ValueId) -> bool {
         match self.values[value.index()].def {
-            ValueDef::OpResult { op: def_op, .. } => {
-                !self.is_ancestor(op, def_op) || def_op == op
-            }
+            ValueDef::OpResult { op: def_op, .. } => !self.is_ancestor(op, def_op) || def_op == op,
             ValueDef::BlockArg { block, .. } => {
                 let owner = self.blocks[block.index()]
                     .parent_region
@@ -645,13 +643,8 @@ mod tests {
         let mut ctx = Context::new();
         let (_, func, c0, c1) = simple_module(&mut ctx);
         let body = ctx.body_block(func);
-        let (add, results) = ctx.build_op(
-            body,
-            "arith.addi",
-            vec![c0, c0],
-            vec![Type::i32()],
-            vec![],
-        );
+        let (add, results) =
+            ctx.build_op(body, "arith.addi", vec![c0, c0], vec![Type::i32()], vec![]);
         assert_eq!(ctx.users_of(c0), vec![add]);
         assert!(!ctx.has_users(c1));
 
@@ -716,7 +709,13 @@ mod tests {
         let (wrapper, _) = ctx.build_op(body, "test.wrapper", vec![], vec![], vec![]);
         let region = ctx.create_region(wrapper);
         let inner_block = ctx.create_block(region);
-        let (inner, _) = ctx.build_op(inner_block, "arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+        let (inner, _) = ctx.build_op(
+            inner_block,
+            "arith.addi",
+            vec![c0, c1],
+            vec![Type::i32()],
+            vec![],
+        );
         assert!(ctx.dominates(c0_op, inner));
         assert!(ctx.dominates(c1_op, inner));
         assert!(!ctx.dominates(inner, c0_op));
@@ -730,8 +729,13 @@ mod tests {
         let (wrapper, _) = ctx.build_op(body, "hida.task", vec![], vec![], vec![]);
         let region = ctx.create_region(wrapper);
         let inner_block = ctx.create_block(region);
-        let (_, inner_res) =
-            ctx.build_op(inner_block, "arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+        let (_, inner_res) = ctx.build_op(
+            inner_block,
+            "arith.addi",
+            vec![c0, c1],
+            vec![Type::i32()],
+            vec![],
+        );
         ctx.build_op(
             inner_block,
             "arith.muli",
@@ -760,7 +764,13 @@ mod tests {
         );
         let region = ctx.create_region(wrapper);
         let inner_block = ctx.create_block(region);
-        let (_, sum) = ctx.build_op(inner_block, "arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+        let (_, sum) = ctx.build_op(
+            inner_block,
+            "arith.addi",
+            vec![c0, c1],
+            vec![Type::i32()],
+            vec![],
+        );
         ctx.build_op(inner_block, "builtin.yield", vec![sum[0]], vec![], vec![]);
 
         let mut mapping = ValueMapping::new();
@@ -776,7 +786,10 @@ mod tests {
         assert_eq!(cloned_ops.len(), 2);
         let cloned_add = cloned_ops[0];
         let cloned_yield = cloned_ops[1];
-        assert_eq!(ctx.op(cloned_yield).operands[0], ctx.op(cloned_add).results[0]);
+        assert_eq!(
+            ctx.op(cloned_yield).operands[0],
+            ctx.op(cloned_add).results[0]
+        );
         // Live-ins (c0, c1) are shared, not cloned.
         assert_eq!(ctx.op(cloned_add).operands, vec![c0, c1]);
     }

@@ -4,8 +4,8 @@
 //! flow graph of blocks is a [`Region`]; regions are in turn contained by operations,
 //! enabling the description of arbitrary design hierarchy (paper §3.1).
 
-use crate::ids::{BlockId, OpId, RegionId};
 use crate::ids::ValueId;
+use crate::ids::{BlockId, OpId, RegionId};
 use crate::types::Type;
 
 /// Where an SSA value comes from: an operation result or a block argument.
@@ -129,7 +129,11 @@ mod tests {
     fn block_position_and_terminator() {
         let block = Block {
             args: vec![],
-            ops: vec![OpId::from_index(0), OpId::from_index(5), OpId::from_index(9)],
+            ops: vec![
+                OpId::from_index(0),
+                OpId::from_index(5),
+                OpId::from_index(9),
+            ],
             parent_region: None,
         };
         assert_eq!(block.position_of(OpId::from_index(5)), Some(1));

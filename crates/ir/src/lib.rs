@@ -35,8 +35,10 @@ pub mod entities;
 pub mod error;
 pub mod ids;
 pub mod operation;
+pub mod parse;
 pub mod pass;
 pub mod printer;
+pub mod registry;
 pub mod rewrite;
 pub mod types;
 pub mod verifier;
@@ -49,7 +51,9 @@ pub use entities::{Block, Region, Value, ValueDef};
 pub use error::{IrError, IrResult};
 pub use ids::{BlockId, OpId, RegionId, ValueId};
 pub use operation::{OpName, Operation};
+pub use parse::{parse_pipeline, print_pipeline, PassInvocation, PipelineParseError};
 pub use pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
+pub use registry::{OptionSpec, PassRegistry, PassSpec, PipelineError};
 pub use rewrite::{apply_patterns_greedily, RewritePattern};
 pub use types::Type;
 pub use walk::{walk_ops_postorder, walk_ops_preorder, WalkOrder};

@@ -1,0 +1,359 @@
+//! Textual pipeline syntax: parser and printer.
+//!
+//! Pipelines are written as a comma-separated pass list where each pass may carry
+//! a brace-enclosed option block, mirroring MLIR's `--pass-pipeline` syntax:
+//!
+//! ```text
+//! pipeline := pass ( ',' pass )*
+//! pass     := NAME ( '{' option ( ',' option )* '}' )?
+//! option   := NAME '=' VALUE
+//! NAME     := [A-Za-z0-9_.-]+
+//! VALUE    := any characters except ',' '{' '}' '='
+//! ```
+//!
+//! Whitespace around tokens is ignored. [`parse_pipeline`] and [`print_pipeline`]
+//! round-trip: parsing the printed form of an invocation list yields the same
+//! list. Parse failures are reported as structured [`PipelineParseError`]s
+//! carrying the byte position, the expected token and what was found instead.
+
+use crate::pass::PassOption;
+use std::error::Error;
+use std::fmt;
+
+/// One parsed pass invocation: a pass name plus its textual options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassInvocation {
+    /// Pass name as written in the pipeline text (e.g. `"tiling"`).
+    pub name: String,
+    /// Options in written order (e.g. `factor=4`).
+    pub options: Vec<PassOption>,
+}
+
+impl PassInvocation {
+    /// An invocation without options.
+    pub fn new(name: impl Into<String>) -> Self {
+        PassInvocation {
+            name: name.into(),
+            options: Vec::new(),
+        }
+    }
+
+    /// An invocation with explicit options.
+    pub fn with_options(name: impl Into<String>, options: Vec<PassOption>) -> Self {
+        PassInvocation {
+            name: name.into(),
+            options,
+        }
+    }
+}
+
+impl fmt::Display for PassInvocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.options.is_empty() {
+            let rendered: Vec<String> = self.options.iter().map(|o| o.to_string()).collect();
+            write!(f, "{{{}}}", rendered.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Structured pipeline parse error: where it happened and what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineParseError {
+    /// Byte offset into the pipeline text where the error was detected.
+    pub position: usize,
+    /// Token class the parser expected (e.g. `"pass name"`, `"'='"`).
+    pub expected: String,
+    /// What was actually found (a rendered character or `"end of input"`).
+    pub found: String,
+}
+
+impl PipelineParseError {
+    fn new(position: usize, expected: impl Into<String>, found: impl Into<String>) -> Self {
+        PipelineParseError {
+            position,
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for PipelineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline parse error at byte {}: expected {}, found {}",
+            self.position, self.expected, self.found
+        )
+    }
+}
+
+impl Error for PipelineParseError {}
+
+/// True for characters allowed in pass and option names.
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')
+}
+
+/// True for characters allowed in option values (everything but the structural
+/// characters of the grammar).
+fn is_value_char(c: char) -> bool {
+    !matches!(c, ',' | '{' | '}' | '=')
+}
+
+/// Character-level cursor over the pipeline text.
+struct Scanner<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner { text, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Renders what sits at the cursor, for error messages.
+    fn found(&self) -> String {
+        match self.peek() {
+            Some(c) => format!("'{c}'"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn error(&self, expected: &str) -> PipelineParseError {
+        PipelineParseError::new(self.pos, expected, self.found())
+    }
+
+    /// Consumes a run of name characters; errors when none are present.
+    fn name(&mut self, expected: &str) -> Result<String, PipelineParseError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self.peek().is_some_and(is_name_char) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error(expected));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    /// Consumes a run of value characters (trimmed); errors when empty.
+    fn value(&mut self) -> Result<String, PipelineParseError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self.peek().is_some_and(is_value_char) {
+            self.bump();
+        }
+        let raw = self.text[start..self.pos].trim_end();
+        if raw.is_empty() {
+            return Err(PipelineParseError::new(start, "option value", self.found()));
+        }
+        Ok(raw.to_string())
+    }
+
+    /// Consumes `c` or errors.
+    fn expect(&mut self, c: char) -> Result<(), PipelineParseError> {
+        self.skip_whitespace();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(&format!("'{c}'")))
+        }
+    }
+
+    /// Consumes `c` when present.
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_whitespace();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_whitespace();
+        self.peek().is_none()
+    }
+}
+
+/// Parses a textual pipeline into pass invocations.
+///
+/// Empty (or all-whitespace) input yields an empty pipeline.
+///
+/// # Errors
+/// Returns a [`PipelineParseError`] locating the first offending token.
+pub fn parse_pipeline(text: &str) -> Result<Vec<PassInvocation>, PipelineParseError> {
+    let mut scanner = Scanner::new(text);
+    let mut passes = Vec::new();
+    if scanner.at_end() {
+        return Ok(passes);
+    }
+    loop {
+        let name = scanner.name("pass name")?;
+        let mut options = Vec::new();
+        if scanner.eat('{') {
+            loop {
+                let key = scanner.name("option name")?;
+                scanner.expect('=')?;
+                let value = scanner.value()?;
+                options.push(PassOption::new(key, value));
+                if !scanner.eat(',') {
+                    break;
+                }
+            }
+            scanner.expect('}')?;
+        }
+        passes.push(PassInvocation::with_options(name, options));
+        if scanner.at_end() {
+            return Ok(passes);
+        }
+        scanner.expect(',')?;
+        // A trailing comma leaves the scanner at end-of-input here; the next
+        // iteration's name() reports "expected pass name, found end of input".
+    }
+}
+
+/// Prints pass invocations in the textual pipeline syntax; the inverse of
+/// [`parse_pipeline`].
+pub fn print_pipeline(passes: &[PassInvocation]) -> String {
+    let rendered: Vec<String> = passes.iter().map(|p| p.to_string()).collect();
+    rendered.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(name: &str, value: &str) -> PassOption {
+        PassOption::new(name, value)
+    }
+
+    #[test]
+    fn parses_bare_pass_list() {
+        let passes = parse_pipeline("construct,fusion,lower").unwrap();
+        assert_eq!(
+            passes,
+            vec![
+                PassInvocation::new("construct"),
+                PassInvocation::new("fusion"),
+                PassInvocation::new("lower"),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_options_and_whitespace() {
+        let passes =
+            parse_pipeline(" tiling { factor = 4 , external-threshold-bytes = 65536 } , balance ")
+                .unwrap();
+        assert_eq!(
+            passes,
+            vec![
+                PassInvocation::with_options(
+                    "tiling",
+                    vec![opt("factor", "4"), opt("external-threshold-bytes", "65536")],
+                ),
+                PassInvocation::new("balance"),
+            ]
+        );
+    }
+
+    #[test]
+    fn option_values_may_contain_plus_and_dots() {
+        let passes = parse_pipeline("parallelize{mode=IA+CA,device=vu9p-slr}").unwrap();
+        assert_eq!(
+            passes[0].options,
+            vec![opt("mode", "IA+CA"), opt("device", "vu9p-slr")]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_pipeline() {
+        assert!(parse_pipeline("").unwrap().is_empty());
+        assert!(parse_pipeline("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trailing_comma_is_a_structured_error() {
+        let err = parse_pipeline("construct,").unwrap_err();
+        assert_eq!(err.expected, "pass name");
+        assert_eq!(err.found, "end of input");
+        assert_eq!(err.position, 10);
+    }
+
+    #[test]
+    fn missing_equals_is_a_structured_error() {
+        let err = parse_pipeline("tiling{factor}").unwrap_err();
+        assert_eq!(err.expected, "'='");
+        assert_eq!(err.found, "'}'");
+        assert_eq!(err.position, 13);
+    }
+
+    #[test]
+    fn missing_value_is_a_structured_error() {
+        let err = parse_pipeline("tiling{factor=}").unwrap_err();
+        assert_eq!(err.expected, "option value");
+        assert_eq!(err.found, "'}'");
+    }
+
+    #[test]
+    fn unterminated_option_block_is_a_structured_error() {
+        let err = parse_pipeline("tiling{factor=4").unwrap_err();
+        assert_eq!(err.expected, "'}'");
+        assert_eq!(err.found, "end of input");
+    }
+
+    #[test]
+    fn empty_option_block_is_a_structured_error() {
+        let err = parse_pipeline("tiling{}").unwrap_err();
+        assert_eq!(err.expected, "option name");
+        assert_eq!(err.found, "'}'");
+    }
+
+    #[test]
+    fn garbage_between_passes_is_a_structured_error() {
+        let err = parse_pipeline("construct lower").unwrap_err();
+        assert_eq!(err.expected, "','");
+        assert_eq!(err.found, "'l'");
+        let err = parse_pipeline("construct,,lower").unwrap_err();
+        assert_eq!(err.expected, "pass name");
+        assert_eq!(err.found, "','");
+    }
+
+    #[test]
+    fn errors_render_position_and_expectation() {
+        let err = parse_pipeline("construct,").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "pipeline parse error at byte 10: expected pass name, found end of input"
+        );
+    }
+
+    #[test]
+    fn print_is_the_inverse_of_parse() {
+        let text = "construct,fusion{patterns=a+b},tiling{factor=4,external-threshold-bytes=65536},parallelize{mode=IA+CA}";
+        let passes = parse_pipeline(text).unwrap();
+        assert_eq!(print_pipeline(&passes), text);
+        assert_eq!(parse_pipeline(&print_pipeline(&passes)).unwrap(), passes);
+    }
+}

@@ -1,0 +1,388 @@
+//! Dynamic pass registration.
+//!
+//! A [`PassRegistry`] maps pass names to factory closures so pipelines can be
+//! assembled from *text* (see [`crate::parse`]) instead of compiled-in `add_pass`
+//! sequences — the `--pass-pipeline` workflow of MLIR-based HLS stacks. Each
+//! registered [`PassSpec`] carries a canonical name, optional aliases (e.g. the
+//! pass instance's long `hida-*` name), a description and [`OptionSpec`]s for
+//! `--list-passes`-style listings, plus the factory that turns parsed
+//! [`PassOption`]s into a ready-to-run [`Pass`] instance.
+
+use crate::parse::{parse_pipeline, PassInvocation, PipelineParseError};
+use crate::pass::{Pass, PassOption};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Documentation of one named option accepted by a registered pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptionSpec {
+    /// Option name as written in pipeline text.
+    pub name: String,
+    /// One-line human-readable description.
+    pub description: String,
+    /// Rendered default value, when the option may be omitted.
+    pub default: Option<String>,
+}
+
+/// Factory turning parsed options into a pass instance. Factories report
+/// human-readable failures (unknown option, unparseable value) as `String`s; the
+/// registry wraps them into [`PipelineError::InvalidOption`].
+pub type PassFactory = Box<dyn Fn(&[PassOption]) -> Result<Box<dyn Pass>, String> + Send + Sync>;
+
+/// A pass instantiated from text, paired with its normalized invocation.
+pub type BuiltPass = (PassInvocation, Box<dyn Pass>);
+
+/// One registered pass: names, documentation and the factory.
+pub struct PassSpec {
+    name: String,
+    aliases: Vec<String>,
+    description: String,
+    options: Vec<OptionSpec>,
+    factory: PassFactory,
+}
+
+impl PassSpec {
+    /// Creates a spec with a canonical name, a description and a factory.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: impl Fn(&[PassOption]) -> Result<Box<dyn Pass>, String> + Send + Sync + 'static,
+    ) -> Self {
+        PassSpec {
+            name: name.into(),
+            aliases: Vec::new(),
+            description: description.into(),
+            options: Vec::new(),
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Adds an alternative name resolving to the same spec (builder style).
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.aliases.push(alias.into());
+        self
+    }
+
+    /// Documents an option (builder style). `default` of `None` marks the option
+    /// as having no default in listings.
+    pub fn with_option(
+        mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        default: Option<&str>,
+    ) -> Self {
+        self.options.push(OptionSpec {
+            name: name.into(),
+            description: description.into(),
+            default: default.map(str::to_string),
+        });
+        self
+    }
+
+    /// Canonical pass name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Alternative names resolving to this spec.
+    pub fn aliases(&self) -> &[String] {
+        &self.aliases
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Documented options.
+    pub fn options(&self) -> &[OptionSpec] {
+        &self.options
+    }
+
+    /// Instantiates the pass from parsed options.
+    ///
+    /// # Errors
+    /// Propagates the factory's failure message.
+    pub fn create(&self, options: &[PassOption]) -> Result<Box<dyn Pass>, String> {
+        (self.factory)(options)
+    }
+}
+
+impl fmt::Debug for PassSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassSpec")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+/// Error raised while turning pipeline text into runnable passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The pipeline text itself was malformed.
+    Parse(PipelineParseError),
+    /// A pass name did not resolve in the registry.
+    UnknownPass {
+        /// The unresolved name.
+        name: String,
+        /// Canonical names of all registered passes.
+        known: Vec<String>,
+    },
+    /// A pass factory rejected its options.
+    InvalidOption {
+        /// Canonical name of the pass whose factory failed.
+        pass: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "{e}"),
+            PipelineError::UnknownPass { name, known } => write!(
+                f,
+                "unknown pass '{name}' (registered passes: {})",
+                known.join(", ")
+            ),
+            PipelineError::InvalidOption { pass, reason } => {
+                write!(f, "invalid options for pass '{pass}': {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<PipelineParseError> for PipelineError {
+    fn from(e: PipelineParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+/// A dynamic registry of passes keyed by name.
+#[derive(Default)]
+pub struct PassRegistry {
+    specs: Vec<PassSpec>,
+    /// Canonical names and aliases, each mapping into `specs`.
+    index: HashMap<String, usize>,
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pass spec under its canonical name and all aliases.
+    ///
+    /// # Panics
+    /// Panics when a name or alias is already taken — duplicate registration is a
+    /// programming error, not an input error.
+    pub fn register(&mut self, spec: PassSpec) -> &mut Self {
+        let idx = self.specs.len();
+        let mut names = vec![spec.name.clone()];
+        names.extend(spec.aliases.iter().cloned());
+        for name in names {
+            let previous = self.index.insert(name.clone(), idx);
+            assert!(previous.is_none(), "pass name '{name}' registered twice");
+        }
+        self.specs.push(spec);
+        self
+    }
+
+    /// Resolves a canonical name or alias to its spec.
+    pub fn get(&self, name: &str) -> Option<&PassSpec> {
+        self.index.get(name).map(|&idx| &self.specs[idx])
+    }
+
+    /// All registered specs, in registration order.
+    pub fn specs(&self) -> &[PassSpec] {
+        &self.specs
+    }
+
+    /// Canonical names of all registered passes, in registration order.
+    pub fn pass_names(&self) -> Vec<String> {
+        self.specs.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Instantiates one invocation, returning the pass together with its
+    /// *normalized* invocation: the canonical pass name and the options the
+    /// created instance actually reports (defaults filled in, aliases resolved),
+    /// so printed pipelines re-parse to the identical configuration.
+    ///
+    /// # Errors
+    /// [`PipelineError::UnknownPass`] for unresolved names,
+    /// [`PipelineError::InvalidOption`] for factory rejections.
+    pub fn create(&self, invocation: &PassInvocation) -> Result<BuiltPass, PipelineError> {
+        let spec = self
+            .get(&invocation.name)
+            .ok_or_else(|| PipelineError::UnknownPass {
+                name: invocation.name.clone(),
+                known: self.pass_names(),
+            })?;
+        let pass =
+            spec.create(&invocation.options)
+                .map_err(|reason| PipelineError::InvalidOption {
+                    pass: spec.name.clone(),
+                    reason,
+                })?;
+        let normalized = PassInvocation::with_options(spec.name.clone(), pass.options());
+        Ok((normalized, pass))
+    }
+
+    /// Parses pipeline text and instantiates every pass in it.
+    ///
+    /// # Errors
+    /// Propagates parse errors and per-pass instantiation failures.
+    pub fn build(&self, text: &str) -> Result<Vec<BuiltPass>, PipelineError> {
+        parse_pipeline(text)?
+            .iter()
+            .map(|invocation| self.create(invocation))
+            .collect()
+    }
+}
+
+impl fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassRegistry")
+            .field("passes", &self.pass_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::error::IrResult;
+    use crate::ids::OpId;
+    use crate::pass::PipelineState;
+
+    /// Test pass echoing its configured amount.
+    struct AmountPass {
+        amount: i64,
+    }
+
+    impl Pass for AmountPass {
+        fn name(&self) -> &str {
+            "test-amount"
+        }
+        fn options(&self) -> Vec<PassOption> {
+            vec![PassOption::new("amount", self.amount)]
+        }
+        fn run(&self, _ctx: &mut Context, _root: OpId, _state: &mut PipelineState) -> IrResult<()> {
+            Ok(())
+        }
+    }
+
+    fn test_registry() -> PassRegistry {
+        let mut registry = PassRegistry::new();
+        registry.register(
+            PassSpec::new("amount", "echoes an amount", |options| {
+                let mut amount = 1_i64;
+                for option in options {
+                    match option.name.as_str() {
+                        "amount" => {
+                            amount = option
+                                .value
+                                .parse()
+                                .map_err(|_| format!("'{}' is not an integer", option.value))?;
+                        }
+                        other => return Err(format!("unknown option '{other}'")),
+                    }
+                }
+                Ok(Box::new(AmountPass { amount }))
+            })
+            .with_alias("test-amount")
+            .with_option("amount", "the echoed amount", Some("1")),
+        );
+        registry
+    }
+
+    #[test]
+    fn registry_resolves_names_and_aliases() {
+        let registry = test_registry();
+        assert!(registry.get("amount").is_some());
+        assert!(registry.get("test-amount").is_some());
+        assert!(registry.get("nonsense").is_none());
+        assert_eq!(registry.pass_names(), vec!["amount"]);
+        let spec = registry.get("amount").unwrap();
+        assert_eq!(spec.description(), "echoes an amount");
+        assert_eq!(spec.aliases(), ["test-amount"]);
+        assert_eq!(spec.options()[0].default.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn create_normalizes_to_canonical_name_and_reported_options() {
+        let registry = test_registry();
+        // Default-filled: no options given, the instance reports amount=1.
+        let (normalized, pass) = registry
+            .create(&PassInvocation::new("test-amount"))
+            .unwrap();
+        assert_eq!(normalized.name, "amount");
+        assert_eq!(normalized.options, vec![PassOption::new("amount", 1)]);
+        assert_eq!(pass.name(), "test-amount");
+    }
+
+    #[test]
+    fn build_parses_and_instantiates() {
+        let registry = test_registry();
+        let built = registry.build("amount{amount=7},amount").unwrap();
+        assert_eq!(built.len(), 2);
+        assert_eq!(built[0].0.options, vec![PassOption::new("amount", 7)]);
+        assert_eq!(built[1].0.options, vec![PassOption::new("amount", 1)]);
+    }
+
+    /// `Box<dyn Pass>` is not `Debug`, so `unwrap_err` is unavailable on `build`.
+    fn build_err(registry: &PassRegistry, text: &str) -> PipelineError {
+        match registry.build(text) {
+            Ok(_) => panic!("expected '{text}' to fail"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn unknown_pass_reports_the_known_names() {
+        let registry = test_registry();
+        let err = build_err(&registry, "frobnicate");
+        match &err {
+            PipelineError::UnknownPass { name, known } => {
+                assert_eq!(name, "frobnicate");
+                assert_eq!(known, &vec!["amount".to_string()]);
+            }
+            other => panic!("expected UnknownPass, got {other:?}"),
+        }
+        assert!(err.to_string().contains("registered passes: amount"));
+    }
+
+    #[test]
+    fn factory_failures_become_invalid_option_errors() {
+        let registry = test_registry();
+        let err = build_err(&registry, "amount{amount=banana}");
+        assert!(matches!(err, PipelineError::InvalidOption { .. }));
+        assert!(err.to_string().contains("not an integer"));
+        let err = build_err(&registry, "amount{volume=2}");
+        assert!(err.to_string().contains("unknown option 'volume'"));
+    }
+
+    #[test]
+    fn parse_errors_pass_through_build() {
+        let registry = test_registry();
+        let err = build_err(&registry, "amount,");
+        assert!(matches!(err, PipelineError::Parse(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut registry = test_registry();
+        registry.register(PassSpec::new("amount", "dup", |_| {
+            Err("unreachable".to_string())
+        }));
+    }
+}

@@ -152,9 +152,7 @@ impl Type {
     /// static property of the type.
     pub fn num_elements(&self) -> Option<i64> {
         match self {
-            Type::Tensor { shape, .. } | Type::MemRef { shape, .. } => {
-                Some(shape.iter().product())
-            }
+            Type::Tensor { shape, .. } | Type::MemRef { shape, .. } => Some(shape.iter().product()),
             Type::Index | Type::Int(_) | Type::Float(_) => Some(1),
             _ => None,
         }

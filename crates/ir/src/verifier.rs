@@ -105,7 +105,8 @@ mod tests {
     fn accepts_well_formed_module() {
         let mut ctx = Context::new();
         let module = ctx.create_module("m");
-        let func = OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![Type::i32()], vec![]);
+        let func =
+            OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![Type::i32()], vec![]);
         let arg = ctx.block(ctx.body_block(func)).args[0];
         let mut b = OpBuilder::at_end_of(&mut ctx, func);
         let c = b.create_constant_int(2, Type::i32());
@@ -149,8 +150,7 @@ mod tests {
         let c = b.create_constant_int(2, Type::i32());
 
         // Transparent task capturing `c` — legal (Functional dataflow semantics).
-        let (task, task_body, _) =
-            b.create_with_body("hida.task", vec![], vec![], vec![], false);
+        let (task, task_body, _) = b.create_with_body("hida.task", vec![], vec![], vec![], false);
         OpBuilder::at_block_end(&mut ctx, task_body).create(
             "arith.negi",
             vec![c],

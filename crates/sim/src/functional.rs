@@ -167,7 +167,9 @@ fn interpret_op(
         arith::ADDF | arith::ADDI => binary(ctx, op, env, |a, b| a + b),
         arith::SUBF | arith::SUBI => binary(ctx, op, env, |a, b| a - b),
         arith::MULF | arith::MULI => binary(ctx, op, env, |a, b| a * b),
-        arith::DIVF | arith::DIVI => binary(ctx, op, env, |a, b| if b != 0.0 { a / b } else { 0.0 }),
+        arith::DIVF | arith::DIVI => {
+            binary(ctx, op, env, |a, b| if b != 0.0 { a / b } else { 0.0 })
+        }
         arith::MAXF => binary(ctx, op, env, f64::max),
         _ => {
             // Token pushes/pops and unknown ops are no-ops for functional semantics.

@@ -68,7 +68,13 @@ pub fn simulate_pipeline(
     let edge_depth: Vec<(NodeOp, NodeOp, i64)> = graph
         .edges
         .iter()
-        .map(|e| (e.producer, e.consumer, buffer_info(ctx, e.buffer).depth.max(1)))
+        .map(|e| {
+            (
+                e.producer,
+                e.consumer,
+                buffer_info(ctx, e.buffer).depth.max(1),
+            )
+        })
         .collect();
 
     for frame in 0..frames {

@@ -17,7 +17,8 @@ fn main() {
     const N: i64 = 256;
     let mut ctx = Context::new();
     let module = ctx.create_module("custom");
-    let func = OpBuilder::at_end_of(&mut ctx, module).create_func("scale_then_offset", vec![], vec![]);
+    let func =
+        OpBuilder::at_end_of(&mut ctx, module).create_func("scale_then_offset", vec![], vec![]);
     let body = ctx.body_block(func);
 
     // Arrays A, B, C.
@@ -54,11 +55,19 @@ fn main() {
         device: FpgaDevice::zu3eg(),
         ..HidaOptions::polybench()
     });
-    let result = compiler.compile_func(ctx, module, func).expect("compilation");
+    let result = compiler
+        .compile_func(ctx, module, func)
+        .expect("compilation");
 
     println!("== Custom two-stage kernel ==");
-    println!("dataflow nodes : {}", result.schedule.nodes(&result.ctx).len());
-    println!("throughput     : {:.1} samples/s", result.estimate.throughput());
+    println!(
+        "dataflow nodes : {}",
+        result.schedule.nodes(&result.ctx).len()
+    );
+    println!(
+        "throughput     : {:.1} samples/s",
+        result.estimate.throughput()
+    );
 
     // Functional check with the interpreter: every C element must be 0*3+1 = 1.
     let mut memory_state = Memory::new();

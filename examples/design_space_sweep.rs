@@ -8,7 +8,10 @@ use hida::{Compiler, HidaOptions, Model, ParallelMode, Workload};
 
 fn main() {
     println!("== MobileNet-V1 design space sweep (VU9P SLR) ==");
-    println!("{:<8} {:<6} {:>10} {:>10} {:>14}", "mode", "pf", "DSP", "BRAM", "images/s");
+    println!(
+        "{:<8} {:<6} {:>10} {:>10} {:>14}",
+        "mode", "pf", "DSP", "BRAM", "images/s"
+    );
     for mode in [ParallelMode::IaCa, ParallelMode::Naive] {
         for pf in [8_i64, 32, 128] {
             let options = HidaOptions {

@@ -12,8 +12,14 @@ fn main() {
 
     println!("== HIDA quickstart: 2mm on ZU3EG ==");
     println!("compile time        : {:.3} s", result.compile_seconds);
-    println!("dataflow nodes      : {}", result.schedule.nodes(&result.ctx).len());
-    println!("throughput          : {:.1} samples/s", result.estimate.throughput());
+    println!(
+        "dataflow nodes      : {}",
+        result.schedule.nodes(&result.ctx).len()
+    );
+    println!(
+        "throughput          : {:.1} samples/s",
+        result.estimate.throughput()
+    );
     println!(
         "sequential baseline : {:.1} samples/s ({:.2}x slower)",
         result.estimate_sequential.throughput(),

@@ -18,8 +18,14 @@ fn main() {
         .expect("hida compilation");
     println!("compile time   : {:.1} s", hida.compile_seconds);
     println!("dataflow nodes : {}", hida.schedule.nodes(&hida.ctx).len());
-    println!("throughput     : {:.2} images/s", hida.estimate.throughput());
-    println!("DSP efficiency : {:.1}%", 100.0 * hida.estimate.dsp_efficiency());
+    println!(
+        "throughput     : {:.2} images/s",
+        hida.estimate.throughput()
+    );
+    println!(
+        "DSP efficiency : {:.1}%",
+        100.0 * hida.estimate.dsp_efficiency()
+    );
     println!(
         "resources      : {} DSP, {} BRAM-18K",
         hida.estimate.resources.dsp, hida.estimate.resources.bram_18k

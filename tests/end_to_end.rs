@@ -19,8 +19,11 @@ fn every_polybench_kernel_compiles_and_dataflow_never_hurts() {
             result.estimate_sequential.throughput()
         );
         assert!(result.hls_cpp.contains("#pragma HLS dataflow"));
-        hida::ir::verifier::verify(&result.ctx, result.ctx.ancestors(result.func).pop().unwrap())
-            .unwrap();
+        hida::ir::verifier::verify(
+            &result.ctx,
+            result.ctx.ancestors(result.func).pop().unwrap(),
+        )
+        .unwrap();
     }
 }
 
@@ -42,11 +45,20 @@ fn multi_loop_kernels_benefit_from_dataflow_single_loop_kernels_do_not() {
 
 #[test]
 fn every_model_in_the_zoo_compiles_end_to_end() {
-    for model in [Model::LeNet, Model::Mlp, Model::MobileNetV1, Model::ResNet18] {
+    for model in [
+        Model::LeNet,
+        Model::Mlp,
+        Model::MobileNetV1,
+        Model::ResNet18,
+    ] {
         let result = Compiler::dnn_defaults()
             .compile(Workload::Model(model))
             .unwrap_or_else(|e| panic!("{} failed: {e}", model.name()));
-        assert!(result.schedule.nodes(&result.ctx).len() >= 2, "{}", model.name());
+        assert!(
+            result.schedule.nodes(&result.ctx).len() >= 2,
+            "{}",
+            model.name()
+        );
         assert!(result.estimate.macs_per_sample > 0);
         assert!(result.estimate.dsp_efficiency() > 0.0);
         assert!(result.estimate.dsp_efficiency() < 1.5);

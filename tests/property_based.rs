@@ -150,6 +150,10 @@ fn optimization_modes_preserve_interpreter_results() {
         hida::ParallelMode::CaOnly,
         hida::ParallelMode::Naive,
     ] {
-        assert_eq!(reference, run(Some(mode)), "mode {mode:?} changed semantics");
+        assert_eq!(
+            reference,
+            run(Some(mode)),
+            "mode {mode:?} changed semantics"
+        );
     }
 }
