@@ -6,6 +6,9 @@ set -euo pipefail
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --examples (not covered by plain cargo build)"
+cargo build --examples
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -30,6 +33,17 @@ for pipeline in "${ablations[@]}"; do
   echo "    -> ${pipeline}"
   cargo run --release -q -p hida-opt --bin hida-opt -- \
     --workload two_mm --pipeline "${pipeline}" > /dev/null
+done
+
+echo "==> analysis cache effectiveness (same ablation twice; both runs must report hits)"
+for attempt in 1 2; do
+  out=$(cargo run --release -q -p hida-opt --bin hida-opt -- \
+    --workload two_mm --stats-json)
+  if ! echo "${out}" | grep -q '"hits":[1-9]'; then
+    echo "run ${attempt}: no analysis cache hits reported"
+    echo "${out}" | tail -n 1
+    exit 1
+  fi
 done
 
 echo "CI OK"

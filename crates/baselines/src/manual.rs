@@ -7,13 +7,13 @@
 //! partitioning the touched arrays accordingly, and estimating the result.
 
 use hida_dataflow_ir::structural::ScheduleOp;
-use hida_dialects::analysis::profile_body;
+use hida_dialects::analysis::ComputeProfile;
 use hida_dialects::transforms;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
 use hida_estimator::report::DesignEstimate;
 use hida_frontend::nn::{build_model, Model};
-use hida_ir_core::{Context, IrResult};
+use hida_ir_core::{AnalysisManager, Context, IrResult};
 use hida_opt::{construct, fusion, lower, parallelize};
 use std::collections::HashMap;
 
@@ -89,9 +89,15 @@ pub fn lenet_design_point(config: LenetConfig, device: &FpgaDevice) -> IrResult<
     let module = ctx.create_module("lenet_manual");
     let func = build_model(&mut ctx, module, Model::LeNet);
     construct::construct_functional_dataflow(&mut ctx, func)?;
-    fusion::fuse_tasks(&mut ctx, func, &fusion::default_fusion_patterns())?;
-    let schedule = lower::lower_to_structural(&mut ctx, func)?;
-    apply_manual_factors(&mut ctx, schedule, config)?;
+    let mut analyses = AnalysisManager::new();
+    fusion::fuse_tasks(
+        &mut ctx,
+        &mut analyses,
+        func,
+        &fusion::default_fusion_patterns(),
+    )?;
+    let schedule = lower::lower_to_structural(&mut ctx, &mut analyses, func)?;
+    apply_manual_factors(&mut ctx, &mut analyses, schedule, config)?;
     let estimator = DataflowEstimator::new(device.clone());
     let mut estimate = estimator.estimate_schedule(&ctx, schedule, config.dataflow);
     // Batched execution: the pipeline amortizes per-frame latency over the batch.
@@ -118,9 +124,18 @@ pub fn lenet_design_point(config: LenetConfig, device: &FpgaDevice) -> IrResult<
 /// nodes of the schedule (in program order), mirroring hand-written unroll pragmas.
 fn apply_manual_factors(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     schedule: ScheduleOp,
     config: LenetConfig,
 ) -> IrResult<()> {
+    // Unroll factors are attribute edits only, so the node profiles warmed by
+    // lowering survive this whole function (including the partition
+    // assignment) — declare it so the mid-loop mutations don't evict them.
+    analyses.begin_pass(
+        ctx,
+        "manual-factors",
+        hida_ir_core::PreservedAnalyses::none().preserve::<ComputeProfile>(),
+    );
     let nodes = schedule.nodes(ctx);
     // (kpf, cpf) per convolution task in network order; the fully-connected tail is
     // left with a modest unroll.
@@ -132,7 +147,7 @@ fn apply_manual_factors(
     let mut conv_index = 0_usize;
     let mut chosen: HashMap<hida_dataflow_ir::structural::NodeOp, Vec<i64>> = HashMap::new();
     for node in &nodes {
-        let profile = profile_body(ctx, node.id());
+        let profile = analyses.get::<ComputeProfile>(ctx, node.id());
         if profile.loop_dims.is_empty() {
             continue;
         }
@@ -162,7 +177,11 @@ fn apply_manual_factors(
         transforms::apply_unroll_factors(ctx, node.id(), &factors)?;
         chosen.insert(*node, factors);
     }
-    parallelize::assign_array_partitions(ctx, schedule, &chosen);
+    parallelize::assign_array_partitions(ctx, analyses, schedule, &chosen);
+    let (_, lie) = analyses.end_pass(ctx);
+    if let Some(error) = lie {
+        return Err(error);
+    }
     Ok(())
 }
 

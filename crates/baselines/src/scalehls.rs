@@ -14,7 +14,7 @@
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::device::FpgaDevice;
 use hida_frontend::nn::Model;
-use hida_ir_core::{Context, IrResult, OpId};
+use hida_ir_core::{AnalysisManager, Context, IrResult, OpId};
 use hida_opt::{construct, lower, parallelize, ParallelMode};
 
 /// Returns true when the ScaleHLS baseline supports the model (the paper reports no
@@ -35,10 +35,12 @@ pub fn compile(
 ) -> IrResult<ScheduleOp> {
     construct::construct_functional_dataflow(ctx, func)?;
     // No task fusion, no multi-producer elimination, no balancing, no tiling.
-    let schedule = lower::lower_to_structural(ctx, func)?;
+    let mut analyses = AnalysisManager::new();
+    let schedule = lower::lower_to_structural(ctx, &mut analyses, func)?;
     // Per-task intensity-aware DSE without connection awareness.
     parallelize::parallelize_schedule(
         ctx,
+        &mut analyses,
         schedule,
         max_parallel_factor,
         ParallelMode::IaOnly,

@@ -66,7 +66,9 @@ fn main() {
     // Table 4: connection analysis over the un-parallelized structural dataflow.
     let mut pipeline = pipeline_of(STRUCTURAL_PIPELINE);
     let (ctx, schedule) = listing1_schedule(&mut pipeline);
-    let connections = parallelize::analyze_connections(&ctx, schedule);
+    // Reuse the analysis cache the pipeline's passes populated: the node
+    // profiles behind the connection maps were already computed during lowering.
+    let connections = parallelize::analyze_connections(&ctx, pipeline.analyses_mut(), schedule);
     println!("# Table 4 — node connections of Listing 1");
     println!("source -> target | S-to-T perm | T-to-S perm | S-to-T scale | T-to-S scale");
     for c in &connections {
@@ -96,7 +98,9 @@ fn main() {
 
         println!("\n# Table 5 ({}) — node parallelization", mode.label());
         for node in schedule.nodes(&ctx) {
-            let rank = hida::dialects::analysis::profile_body(&ctx, node.id())
+            let rank = pipeline
+                .analyses_mut()
+                .get::<hida::dialects::analysis::ComputeProfile>(&ctx, node.id())
                 .loop_dims
                 .len();
             println!(

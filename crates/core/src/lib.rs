@@ -39,6 +39,9 @@ pub use hida_estimator::device::FpgaDevice;
 pub use hida_estimator::report::DesignEstimate;
 pub use hida_frontend::nn::Model;
 pub use hida_frontend::polybench::PolybenchKernel;
+pub use hida_ir_core::analysis::{
+    Analysis, AnalysisCacheStats, AnalysisManager, PreservedAnalyses,
+};
 pub use hida_ir_core::pass::{PassOption, PassStatistics, PipelineState};
 pub use hida_ir_core::registry::{PassRegistry, PipelineError};
 pub use hida_ir_core::PassInvocation;
@@ -89,8 +92,14 @@ pub struct CompilationResult {
     /// Compile time of the HIDA flow itself, in seconds.
     pub compile_seconds: f64,
     /// Per-pass statistics recorded by the optimizer's pass pipeline (timing, op
-    /// deltas, configured options), in execution order.
+    /// deltas, configured options, analysis cache traffic), in execution order.
     pub pass_statistics: Vec<PassStatistics>,
+    /// Aggregate analysis-cache counters over the whole pipeline: how often the
+    /// optimizer reused a cached profile/graph instead of re-walking the IR.
+    pub analysis_cache: AnalysisCacheStats,
+    /// Analysis-cache counters of the QoR estimator (the dataflow and
+    /// sequential estimates share per-node results).
+    pub estimator_cache: AnalysisCacheStats,
 }
 
 /// The end-to-end HIDA compiler.
@@ -192,11 +201,13 @@ impl Compiler {
         };
         let schedule = pipeline.run(&mut ctx, func)?;
         let pass_statistics = pipeline.statistics().to_vec();
+        let analysis_cache = PassStatistics::aggregate_cache(&pass_statistics);
         hida_ir_core::verifier::verify(&ctx, module)
             .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
         let estimator = DataflowEstimator::new(self.options.device.clone());
         let estimate = estimator.estimate_schedule(&ctx, schedule, true);
         let estimate_sequential = estimator.estimate_schedule(&ctx, schedule, false);
+        let estimator_cache = estimator.cache_stats();
         let hls_cpp = hida_emitter::emit_schedule(&ctx, schedule);
         let compile_seconds = start.elapsed().as_secs_f64();
         Ok(CompilationResult {
@@ -208,6 +219,8 @@ impl Compiler {
             hls_cpp,
             compile_seconds,
             pass_statistics,
+            analysis_cache,
+            estimator_cache,
         })
     }
 }
@@ -293,6 +306,44 @@ mod tests {
             .with_pipeline("construct,,lower")
             .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn compilation_reports_analysis_cache_reuse() {
+        let result = Compiler::polybench_defaults()
+            .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32))
+            .unwrap();
+        // The pipeline reuses profiles across passes: tiling consumes the node
+        // profiles warmed during lowering, parallelization re-queries them for
+        // connection analysis, node sorting and partition assignment.
+        assert!(
+            result.analysis_cache.hits >= 2,
+            "expected cross-pass cache hits, got {:?}",
+            result.analysis_cache
+        );
+        assert!(result.analysis_cache.misses >= 1);
+        // The polybench preset may omit tiling; when present it must reuse the
+        // node profiles warmed during lowering.
+        if let Some(tiling) = result
+            .pass_statistics
+            .iter()
+            .find(|s| s.pass == "hida-tiling")
+        {
+            assert!(tiling.cache.hits >= 1, "{:?}", tiling.cache);
+        }
+        let parallelize = result
+            .pass_statistics
+            .iter()
+            .find(|s| s.pass == "hida-parallelize")
+            .unwrap();
+        assert!(parallelize.cache.hits >= 1, "{:?}", parallelize.cache);
+        // The sequential estimate reused the dataflow estimate's node results.
+        assert!(
+            result.estimator_cache.hits >= 1,
+            "{:?}",
+            result.estimator_cache
+        );
+        assert!(result.pass_statistics.iter().all(|s| !s.failed));
     }
 
     #[test]

@@ -159,11 +159,29 @@ impl ComputeProfile {
     }
 }
 
+/// [`ComputeProfile`] is a cacheable [`Analysis`](hida_ir_core::analysis::Analysis):
+/// optimizer passes fetch it through the
+/// [`AnalysisManager`](hida_ir_core::analysis::AnalysisManager)
+/// (`analyses.get::<ComputeProfile>(ctx, op)`) so the expensive IR walk runs once
+/// per (op, IR generation) instead of once per query. [`profile_body`] remains the
+/// raw, uncached computation.
+impl hida_ir_core::analysis::Analysis for ComputeProfile {
+    const NAME: &'static str = "compute-profile";
+
+    fn compute(ctx: &Context, root: OpId) -> Self {
+        profile_body(ctx, root)
+    }
+}
+
 /// Extracts the compute profile of the body of `op` (a task, node, or function).
 ///
 /// Bodies made of named linalg layers and bodies made of explicit affine loop nests
 /// are both supported; a body mixing the two uses the dominant named layer for the
 /// loop dimensions.
+///
+/// This is the raw computation behind the cached analysis; pass code should
+/// query `analyses.get::<ComputeProfile>(ctx, op)` instead so repeated requests
+/// hit the [`AnalysisManager`](hida_ir_core::analysis::AnalysisManager) cache.
 pub fn profile_body(ctx: &Context, op: OpId) -> ComputeProfile {
     let mut profile = ComputeProfile::default();
 

@@ -13,19 +13,52 @@ use crate::report::DesignEstimate;
 use crate::resource::Resources;
 use hida_dataflow_ir::graph::DataflowGraph;
 use hida_dataflow_ir::structural::ScheduleOp;
+use hida_ir_core::analysis::{AnalysisCacheStats, AnalysisManager};
 use hida_ir_core::{Context, OpId};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Estimates complete designs (schedules or plain functions) on a target device.
-#[derive(Debug, Clone)]
+///
+/// Per-node estimates and the schedule's dataflow graph are memoized through an
+/// internal [`AnalysisManager`]: repeated estimations of an unchanged design
+/// (e.g. the dataflow and sequential variants of the same schedule, or QoR
+/// queries inside a design-space sweep iteration) recompute nothing. The cache
+/// is keyed by context identity and mutation generation, so estimating a design
+/// after an IR edit transparently recomputes exactly the stale nodes.
+///
+/// The interior cache makes the estimator `Send` but **not `Sync`**: share-
+/// nothing parallel sweeps should give each worker its own [`Clone`] (clones
+/// start with a cold cache and the same device).
 pub struct DataflowEstimator {
     device: FpgaDevice,
+    analyses: RefCell<AnalysisManager>,
+}
+
+impl Clone for DataflowEstimator {
+    fn clone(&self) -> Self {
+        // The cache is an implementation detail; clones start cold.
+        DataflowEstimator::new(self.device.clone())
+    }
+}
+
+impl fmt::Debug for DataflowEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataflowEstimator")
+            .field("device", &self.device)
+            .field("cache", &self.analyses.borrow().stats())
+            .finish()
+    }
 }
 
 impl DataflowEstimator {
     /// Creates an estimator for the given device.
     pub fn new(device: FpgaDevice) -> Self {
-        DataflowEstimator { device }
+        DataflowEstimator {
+            device,
+            analyses: RefCell::new(AnalysisManager::new()),
+        }
     }
 
     /// The target device.
@@ -33,13 +66,39 @@ impl DataflowEstimator {
         &self.device
     }
 
-    /// Estimates one node of a schedule.
+    /// Cache traffic of the estimator's internal analysis manager.
+    pub fn cache_stats(&self) -> AnalysisCacheStats {
+        self.analyses.borrow().stats().clone()
+    }
+
+    /// Drops every memoized estimate.
+    pub fn clear_cache(&self) {
+        self.analyses.borrow_mut().invalidate_all();
+    }
+
+    /// Estimates one node of a schedule (memoized per IR generation).
     pub fn estimate_node(
         &self,
         ctx: &Context,
         node: hida_dataflow_ir::structural::NodeOp,
     ) -> NodeEstimate {
-        estimate_body(ctx, node.id(), &self.device)
+        self.body_estimate(ctx, node.id())
+    }
+
+    /// Memoized [`estimate_body`]: the device is fixed per estimator, so the
+    /// (type, op) cache key is unambiguous within one instance.
+    fn body_estimate(&self, ctx: &Context, op: OpId) -> NodeEstimate {
+        self.analyses
+            .borrow_mut()
+            .get_with(ctx, op, "node-estimate", |ctx, op| {
+                estimate_body(ctx, op, &self.device)
+            })
+    }
+
+    fn graph(&self, ctx: &Context, schedule: ScheduleOp) -> DataflowGraph {
+        self.analyses
+            .borrow_mut()
+            .get::<DataflowGraph>(ctx, schedule.id())
     }
 
     /// Estimates a structural dataflow schedule.
@@ -55,7 +114,7 @@ impl DataflowEstimator {
         let nodes = schedule.nodes(ctx);
         let node_estimates: Vec<NodeEstimate> = nodes
             .iter()
-            .map(|&n| estimate_body(ctx, n.id(), &self.device))
+            .map(|&n| self.body_estimate(ctx, n.id()))
             .collect();
 
         // Buffer resources: every buffer declared in the schedule.
@@ -112,7 +171,7 @@ impl DataflowEstimator {
     /// Estimates a plain function body (no dataflow structure), e.g. the Vitis-only
     /// baseline or a single fused task.
     pub fn estimate_function(&self, ctx: &Context, func: OpId) -> DesignEstimate {
-        let est = estimate_body(ctx, func, &self.device);
+        let est = self.body_estimate(ctx, func);
         let mut buffer_res = Resources::zero();
         let mut buffer_count = 0;
         for op in ctx.collect_ops(func, hida_dialects::memory::ALLOC) {
@@ -159,7 +218,7 @@ impl DataflowEstimator {
             .map(|(&n, e)| (n, e.latency_cycles))
             .collect();
 
-        let graph = DataflowGraph::from_schedule(ctx, schedule);
+        let graph = self.graph(ctx, schedule);
 
         // Stall factors from unbalanced reconvergent paths: the producer of a short
         // path cannot issue a new frame until the long path drains, unless the buffer
@@ -350,6 +409,42 @@ mod tests {
             shallow > deep,
             "shallow skip buffer must stall the pipeline"
         );
+    }
+
+    #[test]
+    fn repeated_estimates_reuse_memoized_node_results() {
+        let est = DataflowEstimator::new(FpgaDevice::zu3eg());
+        let mut ctx = Context::new();
+        let schedule = two_node_schedule(&mut ctx, 1024, 2048);
+        let first = est.estimate_schedule(&ctx, schedule, true);
+        let after_first = est.cache_stats();
+        // 2 node estimates + 1 dataflow graph were computed.
+        assert!(after_first.misses >= 3, "{after_first:?}");
+        assert_eq!(after_first.hits, 0);
+
+        // The sequential variant and a repeat of the dataflow estimate recompute
+        // nothing: the IR did not change.
+        let sequential = est.estimate_schedule(&ctx, schedule, false);
+        let second = est.estimate_schedule(&ctx, schedule, true);
+        let after_repeats = est.cache_stats();
+        assert!(after_repeats.hits >= 4, "{after_repeats:?}");
+        assert_eq!(after_repeats.misses, after_first.misses);
+        assert_eq!(first.node_estimates, second.node_estimates);
+        assert_eq!(first.node_estimates, sequential.node_estimates);
+
+        // Mutating the IR invalidates the memoized estimates.
+        let node = schedule.nodes(&ctx)[0];
+        fill_node_body(&mut ctx, node, 16);
+        let third = est.estimate_schedule(&ctx, schedule, true);
+        assert!(est.cache_stats().misses > after_repeats.misses);
+        assert!(third.node_estimates[0].latency_cycles >= first.node_estimates[0].latency_cycles);
+
+        est.clear_cache();
+        assert!(est.cache_stats().invalidations > 0);
+        // A clone starts with a cold cache but the same device.
+        let cloned = est.clone();
+        assert_eq!(cloned.cache_stats(), AnalysisCacheStats::default());
+        assert_eq!(cloned.device().name, est.device().name);
     }
 
     #[test]

@@ -22,12 +22,23 @@ pub struct DataflowEdge {
 }
 
 /// A dataflow graph derived from a schedule.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DataflowGraph {
     /// All nodes in program order.
     pub nodes: Vec<NodeOp>,
     /// All producer→consumer edges.
     pub edges: Vec<DataflowEdge>,
+}
+
+/// [`DataflowGraph`] is a cacheable [`Analysis`](hida_ir_core::analysis::Analysis)
+/// keyed at the schedule op, so multi-pass flows (balancing, parallelization,
+/// estimation) rebuild it only when the schedule actually changed.
+impl hida_ir_core::analysis::Analysis for DataflowGraph {
+    const NAME: &'static str = "dataflow-graph";
+
+    fn compute(ctx: &Context, root: hida_ir_core::OpId) -> Self {
+        DataflowGraph::from_schedule(ctx, ScheduleOp(root))
+    }
 }
 
 impl DataflowGraph {

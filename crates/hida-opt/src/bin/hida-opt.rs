@@ -14,13 +14,16 @@
 //! Prints the normalized pipeline, per-pass `PassStatistics`, the resulting
 //! schedule (nodes, unroll factors, buffers) and the estimated QoR.
 
+use hida_dialects::analysis::ComputeProfile;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
 use hida_frontend::nn::{build_model, Model};
 use hida_frontend::polybench::{build_kernel, PolybenchKernel};
-use hida_ir_core::{Context, OpId};
+use hida_ir_core::pass::PassStatistics;
+use hida_ir_core::{AnalysisCacheStats, Context, OpId};
 use hida_opt::registry::{registry, registry_listing};
 use hida_opt::{HidaOptions, Pipeline};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +40,9 @@ usage: hida-opt [OPTIONS]
                         (default: the pipeline's parallelize device, else
                         vu9p-slr)
   --no-verify           skip inter-pass IR verification
+  --stats-json          emit per-pass statistics (timing, op deltas, analysis
+                        cache hits/misses) as one JSON object on stdout; the
+                        human-readable report moves to stderr
   --list-passes         print the pass registry and exit
   --list-workloads      print the known workloads and exit
   --help                print this help and exit";
@@ -96,6 +102,7 @@ struct Args {
     size: Option<i64>,
     device: Option<String>,
     no_verify: bool,
+    stats_json: bool,
     list_passes: bool,
     list_workloads: bool,
     help: bool,
@@ -126,6 +133,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--device" => args.device = Some(value_of("--device")?),
             "--no-verify" => args.no_verify = true,
+            "--stats-json" => args.stats_json = true,
             "--list-passes" => args.list_passes = true,
             "--list-workloads" => args.list_workloads = true,
             "--help" | "-h" => args.help = true,
@@ -149,7 +157,85 @@ fn preset_text(preset: &str) -> Result<String, String> {
     Ok(options.pipeline_text())
 }
 
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cache_json(cache: &AnalysisCacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"invalidations\":{},\"preserved\":{}}}",
+        cache.hits, cache.misses, cache.invalidations, cache.preserved
+    )
+}
+
+/// Renders the per-pass statistics (and their aggregate analysis-cache
+/// counters) as one machine-readable JSON object for the CI ablation matrix.
+fn stats_json(workload: &str, pipeline_text: &str, statistics: &[PassStatistics]) -> String {
+    let totals = PassStatistics::aggregate_cache(statistics);
+    let passes: Vec<String> = statistics
+        .iter()
+        .map(|stat| {
+            let options: Vec<String> = stat
+                .options
+                .iter()
+                .map(|o| {
+                    format!(
+                        "{{\"name\":\"{}\",\"value\":\"{}\"}}",
+                        json_escape(&o.name),
+                        json_escape(&o.value)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"pass\":\"{}\",\"micros\":{},\"live_ops_before\":{},\"live_ops_after\":{},\
+                 \"op_delta\":{},\"verified\":{},\"failed\":{},\"cache\":{},\"options\":[{}]}}",
+                json_escape(&stat.pass),
+                stat.micros,
+                stat.live_ops_before,
+                stat.live_ops_after,
+                stat.op_delta(),
+                stat.verified,
+                stat.failed,
+                cache_json(&stat.cache),
+                options.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workload\":\"{}\",\"pipeline\":\"{}\",\"passes\":[{}],\"analysis_cache_totals\":{}}}",
+        json_escape(workload),
+        json_escape(pipeline_text),
+        passes.join(","),
+        cache_json(&totals)
+    )
+}
+
 fn run(args: Args) -> Result<(), String> {
+    // With --stats-json, stdout carries exactly one JSON object; the
+    // human-readable report moves to stderr so `hida-opt --stats-json | jq .`
+    // works as documented.
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if args.stats_json {
+                eprintln!($($arg)*)
+            } else {
+                println!($($arg)*)
+            }
+        };
+    }
     let workload_name = args
         .workload
         .as_deref()
@@ -196,29 +282,44 @@ fn run(args: Args) -> Result<(), String> {
     let func: OpId = match workload {
         CliWorkload::Polybench(kernel) => {
             let size = args.size.unwrap_or_else(|| kernel.default_size());
-            println!("workload: {} (PolyBench, size {size})", kernel.name());
+            say!("workload: {} (PolyBench, size {size})", kernel.name());
             build_kernel(&mut ctx, module, kernel, size)
         }
         CliWorkload::Model(model) => {
-            println!("workload: {} (DNN model)", model.name());
+            say!("workload: {} (DNN model)", model.name());
             build_model(&mut ctx, module, model)
         }
     };
-    println!("pipeline: {}", pipeline.to_text());
+    say!("pipeline: {}", pipeline.to_text());
+    let pipeline_text = pipeline.to_text();
 
-    let schedule = pipeline.run(&mut ctx, func).map_err(|e| e.to_string())?;
+    let run_result = pipeline.run(&mut ctx, func);
 
-    println!("\n# Per-pass statistics");
+    say!("\n# Per-pass statistics");
     for stat in pipeline.statistics() {
-        println!("{stat}");
+        say!("{stat}");
     }
+    let cache_totals = PassStatistics::aggregate_cache(pipeline.statistics());
+    say!("analysis cache totals: {cache_totals}");
+    if args.stats_json {
+        println!(
+            "{}",
+            stats_json(workload_name, &pipeline_text, pipeline.statistics())
+        );
+    }
+    // A failing pipeline still reported where (and after how long) it died.
+    let schedule = run_result.map_err(|e| e.to_string())?;
 
-    println!("\n# Schedule ({} nodes)", schedule.nodes(&ctx).len());
+    say!("\n# Schedule ({} nodes)", schedule.nodes(&ctx).len());
     for node in schedule.nodes(&ctx) {
-        let rank = hida_dialects::analysis::profile_body(&ctx, node.id())
+        // The parallelize pass preserved the node profiles; these queries are
+        // pure cache hits.
+        let rank = pipeline
+            .analyses_mut()
+            .get::<ComputeProfile>(&ctx, node.id())
             .loop_dims
             .len();
-        println!(
+        say!(
             "node {:<24} intensity {:<10} parallel factor {:<5} unroll {:?}",
             node.name(&ctx),
             ctx.op(node.id()).attr_int("intensity").unwrap_or(0),
@@ -228,7 +329,7 @@ fn run(args: Args) -> Result<(), String> {
     }
     for buffer in schedule.internal_buffers(&ctx) {
         let partition = buffer.partition(&ctx);
-        println!(
+        say!(
             "buffer {:<22} depth {:<3} kind {:<9} partition {:?} ({} banks)",
             buffer.name(&ctx),
             buffer.depth(&ctx),
@@ -241,13 +342,13 @@ fn run(args: Args) -> Result<(), String> {
     let estimator = DataflowEstimator::new(device.clone());
     let dataflow = estimator.estimate_schedule(&ctx, schedule, true);
     let sequential = estimator.estimate_schedule(&ctx, schedule, false);
-    println!("\n# QoR estimate ({})", device.name);
-    println!(
+    say!("\n# QoR estimate ({})", device.name);
+    say!(
         "throughput: {:.3} samples/s (dataflow) vs {:.3} samples/s (sequential)",
         dataflow.throughput(),
         sequential.throughput()
     );
-    println!(
+    say!(
         "resources:  DSP {} / {}, BRAM-18K {} / {}, LUT {} / {}",
         dataflow.resources.dsp,
         device.dsp,
@@ -256,7 +357,11 @@ fn run(args: Args) -> Result<(), String> {
         dataflow.resources.lut,
         device.lut
     );
-    println!("DSP efficiency: {:.1}%", 100.0 * dataflow.dsp_efficiency());
+    say!("DSP efficiency: {:.1}%", 100.0 * dataflow.dsp_efficiency());
+    say!(
+        "estimator cache: {} (dataflow + sequential estimates share node estimates)",
+        estimator.cache_stats()
+    );
     Ok(())
 }
 

@@ -16,9 +16,9 @@
 
 use hida_dataflow_ir::functional::{unwrap_op, wrap_ops, DispatchOp, TaskOp};
 use hida_dataflow_ir::op_names as hida_ops;
-use hida_dialects::analysis::profile_body;
+use hida_dialects::analysis::ComputeProfile;
 use hida_dialects::linalg;
-use hida_ir_core::{Context, IrResult, OpId};
+use hida_ir_core::{AnalysisManager, Context, IrResult, OpId};
 
 /// A profitable task-fusion pattern: decides whether `task` should be fused with the
 /// adjacent `next` task.
@@ -92,9 +92,25 @@ pub fn default_fusion_patterns() -> Vec<Box<dyn FusionPattern>> {
     vec![Box::new(ElementwiseFusion), Box::new(ConvPoolFusion)]
 }
 
-/// Computational intensity of a task (total scalar operations).
-pub fn task_intensity(ctx: &Context, task: TaskOp) -> i64 {
-    profile_body(ctx, task.id()).intensity
+/// Computational intensity of a task (total scalar operations), fetched through
+/// the analysis cache so the criticality loop re-queries surviving tasks for
+/// free.
+pub fn task_intensity(ctx: &Context, analyses: &mut AnalysisManager, task: TaskOp) -> i64 {
+    analyses.get::<ComputeProfile>(ctx, task.id()).intensity
+}
+
+/// Drops cached analyses of every op (and enclosing task/func) that consumes a
+/// result of `producer`: fusing rewires those consumers' operands to the fused
+/// task's fresh result values, so their cached profiles reference dead values.
+fn invalidate_consumers(ctx: &Context, analyses: &mut AnalysisManager, producer: TaskOp) {
+    for &result in &ctx.op(producer.id()).results {
+        for user in ctx.users_of(result) {
+            analyses.invalidate_root(user);
+            for ancestor in ctx.ancestors(user) {
+                analyses.invalidate_root(ancestor);
+            }
+        }
+    }
 }
 
 /// Fuses two adjacent tasks of the same dispatch into one new task.
@@ -121,6 +137,7 @@ pub fn fuse_two_tasks(ctx: &mut Context, first: TaskOp, second: TaskOp) -> TaskO
 /// Currently infallible; the `Result` keeps the pass signature uniform.
 pub fn fuse_tasks(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     root: OpId,
     patterns: &[Box<dyn FusionPattern>],
 ) -> IrResult<()> {
@@ -133,13 +150,18 @@ pub fn fuse_tasks(
         if !ctx.is_alive(dispatch) {
             continue;
         }
-        fuse_dispatch(ctx, DispatchOp(dispatch), patterns);
+        fuse_dispatch(ctx, analyses, DispatchOp(dispatch), patterns);
     }
-    canonicalize(ctx, root);
+    canonicalize(ctx, analyses, root);
     Ok(())
 }
 
-fn fuse_dispatch(ctx: &mut Context, dispatch: DispatchOp, patterns: &[Box<dyn FusionPattern>]) {
+fn fuse_dispatch(
+    ctx: &mut Context,
+    analyses: &mut AnalysisManager,
+    dispatch: DispatchOp,
+    patterns: &[Box<dyn FusionPattern>],
+) {
     // Pattern-driven worklist: fuse adjacent tasks until no pattern matches.
     let mut changed = true;
     while changed {
@@ -148,7 +170,8 @@ fn fuse_dispatch(ctx: &mut Context, dispatch: DispatchOp, patterns: &[Box<dyn Fu
         for window in tasks.windows(2) {
             let (a, b) = (window[0], window[1]);
             if patterns.iter().any(|p| p.matches(ctx, a, b)) {
-                fuse_two_tasks(ctx, a, b);
+                let merged = fuse_two_tasks(ctx, a, b);
+                invalidate_consumers(ctx, analyses, merged);
                 changed = true;
                 break;
             }
@@ -162,7 +185,10 @@ fn fuse_dispatch(ctx: &mut Context, dispatch: DispatchOp, patterns: &[Box<dyn Fu
         if tasks.len() < 3 {
             break;
         }
-        let intensities: Vec<i64> = tasks.iter().map(|&t| task_intensity(ctx, t)).collect();
+        let intensities: Vec<i64> = tasks
+            .iter()
+            .map(|&t| task_intensity(ctx, analyses, t))
+            .collect();
         let critical = intensities.iter().copied().max().unwrap_or(0);
         // Find the adjacent pair with the smallest combined intensity.
         let mut best: Option<(usize, i64)> = None;
@@ -174,7 +200,8 @@ fn fuse_dispatch(ctx: &mut Context, dispatch: DispatchOp, patterns: &[Box<dyn Fu
         }
         match best {
             Some((i, combined)) if combined <= critical => {
-                fuse_two_tasks(ctx, tasks[i], tasks[i + 1]);
+                let merged = fuse_two_tasks(ctx, tasks[i], tasks[i + 1]);
+                invalidate_consumers(ctx, analyses, merged);
             }
             _ => break,
         }
@@ -183,7 +210,10 @@ fn fuse_dispatch(ctx: &mut Context, dispatch: DispatchOp, patterns: &[Box<dyn Fu
 
 /// Canonicalizes the dispatch/task hierarchy: dispatches containing a single task are
 /// dissolved, as are tasks that directly contain a single nested task.
-pub fn canonicalize(ctx: &mut Context, root: OpId) {
+///
+/// Unwrapping moves ops into the enclosing body, so the cached analyses of every
+/// ancestor of an unwrapped op are dropped through `analyses`.
+pub fn canonicalize(ctx: &mut Context, analyses: &mut AnalysisManager, root: OpId) {
     // Tasks wrapping exactly one nested task collapse into one level.
     loop {
         let candidate = hida_ir_core::walk::collect_preorder(ctx, root)
@@ -205,6 +235,10 @@ pub fn canonicalize(ctx: &mut Context, root: OpId) {
                     .find(|&o| ctx.op(o).is(hida_ops::TASK))
                     .unwrap();
                 unwrap_op(ctx, inner);
+                analyses.invalidate_root(task);
+                for ancestor in ctx.ancestors(task) {
+                    analyses.invalidate_root(ancestor);
+                }
             }
             None => break,
         }
@@ -221,6 +255,9 @@ pub fn canonicalize(ctx: &mut Context, root: OpId) {
     for dispatch in single_task_dispatches {
         if !ctx.is_alive(dispatch) {
             continue;
+        }
+        for ancestor in ctx.ancestors(dispatch) {
+            analyses.invalidate_root(ancestor);
         }
         for task in DispatchOp(dispatch).tasks(ctx) {
             unwrap_op(ctx, task.id());
@@ -240,7 +277,13 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_model(ctx, module, Model::LeNet);
         construct_functional_dataflow(ctx, func).unwrap();
-        fuse_tasks(ctx, func, &default_fusion_patterns()).unwrap();
+        fuse_tasks(
+            ctx,
+            &mut AnalysisManager::new(),
+            func,
+            &default_fusion_patterns(),
+        )
+        .unwrap();
         let d = ctx.collect_ops(func, hida_ops::DISPATCH)[0];
         (func, DispatchOp(d))
     }
@@ -272,7 +315,11 @@ mod tests {
         let mut ctx = Context::new();
         let (_, dispatch) = lenet_dispatch(&mut ctx);
         let tasks = dispatch.tasks(&ctx);
-        let intensities: Vec<i64> = tasks.iter().map(|&t| task_intensity(&ctx, t)).collect();
+        let mut analyses = AnalysisManager::new();
+        let intensities: Vec<i64> = tasks
+            .iter()
+            .map(|&t| task_intensity(&ctx, &mut analyses, t))
+            .collect();
         let max = *intensities.iter().max().unwrap();
         let min = *intensities.iter().min().unwrap();
         // The fused dataflow should not contain tasks thousands of times lighter than
@@ -286,7 +333,13 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_kernel(&mut ctx, module, PolybenchKernel::Symm, 16);
         construct_functional_dataflow(&mut ctx, func).unwrap();
-        fuse_tasks(&mut ctx, func, &default_fusion_patterns()).unwrap();
+        fuse_tasks(
+            &mut ctx,
+            &mut AnalysisManager::new(),
+            func,
+            &default_fusion_patterns(),
+        )
+        .unwrap();
         assert!(ctx.collect_ops(func, hida_ops::DISPATCH).is_empty());
         assert!(ctx.collect_ops(func, hida_ops::TASK).is_empty());
     }
@@ -297,7 +350,13 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_kernel(&mut ctx, module, PolybenchKernel::ThreeMm, 16);
         construct_functional_dataflow(&mut ctx, func).unwrap();
-        fuse_tasks(&mut ctx, func, &default_fusion_patterns()).unwrap();
+        fuse_tasks(
+            &mut ctx,
+            &mut AnalysisManager::new(),
+            func,
+            &default_fusion_patterns(),
+        )
+        .unwrap();
         let dispatch = DispatchOp(ctx.collect_ops(func, hida_ops::DISPATCH)[0]);
         // Three equally heavy matmuls: criticality fusion must not collapse them.
         assert_eq!(dispatch.tasks(&ctx).len(), 3);

@@ -29,6 +29,17 @@
 //! later passes through the typed
 //! [`PipelineState`](hida_ir_core::PipelineState) slot map.
 //!
+//! Structural facts the passes keep re-asking for — compute profiles of
+//! task/node bodies, the dataflow graph of a schedule — are fetched through the
+//! [`AnalysisManager`](hida_ir_core::analysis::AnalysisManager) the pass
+//! manager threads through every pass: results are cached per (analysis, root
+//! op) and invalidated by the context's mutation generation, and each pass
+//! declares the analyses its edits provably keep intact
+//! ([`Pass::preserved_analyses`](hida_ir_core::Pass::preserved_analyses)), so
+//! e.g. tiling and parallelization consume the profiles lowering computed as
+//! pure cache hits. Per-pass hit/miss counters land in the recorded
+//! statistics.
+//!
 //! [`HidaOptimizer`] is a thin driver over that machinery: it builds the pipeline
 //! from its [`HidaOptions`] and runs it.
 //!

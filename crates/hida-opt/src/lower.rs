@@ -15,9 +15,11 @@
 use hida_dataflow_ir::functional::DispatchOp;
 use hida_dataflow_ir::op_names as hida_ops;
 use hida_dataflow_ir::structural::{build_buffer, build_node, NodeOp, ScheduleOp};
-use hida_dialects::analysis::{profile_body, MemEffect};
+use hida_dialects::analysis::{ComputeProfile, MemEffect};
 use hida_dialects::linalg;
-use hida_ir_core::{Attribute, Context, IrError, IrResult, OpBuilder, OpId, Type, ValueId};
+use hida_ir_core::{
+    AnalysisManager, Attribute, Context, IrError, IrResult, OpBuilder, OpId, Type, ValueId,
+};
 use std::collections::HashMap;
 
 /// Lowers the Functional dataflow inside `func` to a Structural `hida.schedule`.
@@ -28,7 +30,11 @@ use std::collections::HashMap;
 ///
 /// # Errors
 /// Returns an error if the function has no compute content at all.
-pub fn lower_to_structural(ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp> {
+pub fn lower_to_structural(
+    ctx: &mut Context,
+    analyses: &mut AnalysisManager,
+    func: OpId,
+) -> IrResult<ScheduleOp> {
     // Collect the "tasks": either the tasks of the dispatch, or the top-level compute
     // units of the function body.
     let dispatch = ctx
@@ -113,8 +119,15 @@ pub fn lower_to_structural(ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp
     }
 
     // Lower every task group to a node.
+    let mut nodes: Vec<NodeOp> = Vec::with_capacity(task_groups.len());
     for &task in &task_groups {
-        lower_task_to_node(ctx, task, schedule_body, &buffer_of)?;
+        nodes.push(lower_task_to_node(
+            ctx,
+            analyses,
+            task,
+            schedule_body,
+            &buffer_of,
+        )?);
     }
 
     // Clean up the functional ops: output markers, the dispatch/tasks, inputs, allocs.
@@ -139,6 +152,14 @@ pub fn lower_to_structural(ctx: &mut Context, func: OpId) -> IrResult<ScheduleOp
         if ctx.parent_op(alloc) == Some(func) && !ctx.has_users(ctx.op(alloc).results[0]) {
             ctx.erase_op(alloc);
         }
+    }
+
+    // Warm the per-node profile cache after the last mutation of this lowering:
+    // every downstream structural pass (tiling, parallelization) starts by
+    // querying exactly these profiles, and the entries stamped here are fresh
+    // regardless of whether the caller runs inside a pass-manager scope.
+    for node in nodes {
+        analyses.get::<ComputeProfile>(ctx, node.id());
     }
 
     Ok(schedule)
@@ -170,11 +191,12 @@ fn task_name(ctx: &Context, task: OpId) -> String {
 /// Lowers one task group (a `hida.task` or a bare loop nest) into a `hida.node`.
 fn lower_task_to_node(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     task: OpId,
     schedule_body: hida_ir_core::BlockId,
     buffer_of: &HashMap<ValueId, ValueId>,
 ) -> IrResult<NodeOp> {
-    let profile = profile_body(ctx, task);
+    let profile = analyses.get::<ComputeProfile>(ctx, task);
     let results: Vec<ValueId> = ctx.op(task).results.clone();
     let yielded = yielded_values(ctx, task);
 
@@ -344,8 +366,9 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_kernel(&mut ctx, module, kernel, n);
         construct_functional_dataflow(&mut ctx, func).unwrap();
-        fuse_tasks(&mut ctx, func, &default_fusion_patterns()).unwrap();
-        let schedule = lower_to_structural(&mut ctx, func).unwrap();
+        let mut analyses = AnalysisManager::new();
+        fuse_tasks(&mut ctx, &mut analyses, func, &default_fusion_patterns()).unwrap();
+        let schedule = lower_to_structural(&mut ctx, &mut analyses, func).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
         (ctx, func, schedule)
     }
@@ -388,8 +411,9 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_model(&mut ctx, module, Model::LeNet);
         construct_functional_dataflow(&mut ctx, func).unwrap();
-        fuse_tasks(&mut ctx, func, &default_fusion_patterns()).unwrap();
-        let schedule = lower_to_structural(&mut ctx, func).unwrap();
+        let mut analyses = AnalysisManager::new();
+        fuse_tasks(&mut ctx, &mut analyses, func, &default_fusion_patterns()).unwrap();
+        let schedule = lower_to_structural(&mut ctx, &mut analyses, func).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
 
         let nodes = schedule.nodes(&ctx);
@@ -434,8 +458,9 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_model(&mut ctx, module, Model::ResNet18);
         construct_functional_dataflow(&mut ctx, func).unwrap();
-        fuse_tasks(&mut ctx, func, &default_fusion_patterns()).unwrap();
-        let schedule = lower_to_structural(&mut ctx, func).unwrap();
+        let mut analyses = AnalysisManager::new();
+        fuse_tasks(&mut ctx, &mut analyses, func, &default_fusion_patterns()).unwrap();
+        let schedule = lower_to_structural(&mut ctx, &mut analyses, func).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
         // Residual shortcuts: at least one buffer feeds more than one consumer node.
         let graph = hida_dataflow_ir::graph::DataflowGraph::from_schedule(&ctx, schedule);

@@ -19,11 +19,11 @@
 use crate::ParallelMode;
 use hida_dataflow_ir::graph::DataflowGraph;
 use hida_dataflow_ir::structural::{BufferOp, NodeOp, ScheduleOp};
-use hida_dialects::analysis::{profile_body, ComputeProfile};
+use hida_dialects::analysis::ComputeProfile;
 use hida_dialects::hls::{ArrayPartition, PartitionFashion};
 use hida_dialects::transforms;
 use hida_estimator::device::FpgaDevice;
-use hida_ir_core::{Context, IrResult, ValueId};
+use hida_ir_core::{AnalysisManager, Context, IrResult, ValueId};
 use std::collections::HashMap;
 
 /// A connection between two nodes through a shared buffer, with the loop alignment
@@ -57,12 +57,17 @@ pub struct NodeInfo {
     pub connections: usize,
 }
 
-/// Analyzes every producer→consumer connection of a schedule.
-pub fn analyze_connections(ctx: &Context, schedule: ScheduleOp) -> Vec<Connection> {
-    let graph = DataflowGraph::from_schedule(ctx, schedule);
+/// Analyzes every producer→consumer connection of a schedule. The dataflow
+/// graph and every node profile are fetched through the analysis cache.
+pub fn analyze_connections(
+    ctx: &Context,
+    analyses: &mut AnalysisManager,
+    schedule: ScheduleOp,
+) -> Vec<Connection> {
+    let graph = analyses.get::<DataflowGraph>(ctx, schedule.id());
     let mut profiles: HashMap<NodeOp, ComputeProfile> = HashMap::new();
     for node in &graph.nodes {
-        profiles.insert(*node, profile_body(ctx, node.id()));
+        profiles.insert(*node, analyses.get::<ComputeProfile>(ctx, node.id()));
     }
     let mut connections = Vec::new();
     for edge in &graph.edges {
@@ -119,14 +124,18 @@ pub fn analyze_connections(ctx: &Context, schedule: ScheduleOp) -> Vec<Connectio
 
 /// Builds the per-node analysis records and returns them sorted in parallelization
 /// order (step 2: connection count descending, intensity as tie-breaker).
-pub fn analyze_nodes(ctx: &Context, schedule: ScheduleOp) -> Vec<NodeInfo> {
-    let graph = DataflowGraph::from_schedule(ctx, schedule);
+pub fn analyze_nodes(
+    ctx: &Context,
+    analyses: &mut AnalysisManager,
+    schedule: ScheduleOp,
+) -> Vec<NodeInfo> {
+    let graph = analyses.get::<DataflowGraph>(ctx, schedule.id());
     let mut infos: Vec<NodeInfo> = schedule
         .nodes(ctx)
         .into_iter()
         .map(|node| NodeInfo {
             node,
-            profile: profile_body(ctx, node.id()),
+            profile: analyses.get::<ComputeProfile>(ctx, node.id()),
             connections: graph.connection_count(node),
         })
         .collect();
@@ -343,13 +352,14 @@ fn score_factors(
 /// Propagates unroll application failures.
 pub fn parallelize_schedule(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     schedule: ScheduleOp,
     max_parallel_factor: i64,
     mode: ParallelMode,
     _device: &FpgaDevice,
 ) -> IrResult<()> {
-    let connections = analyze_connections(ctx, schedule);
-    let infos = analyze_nodes(ctx, schedule);
+    let connections = analyze_connections(ctx, analyses, schedule);
+    let infos = analyze_nodes(ctx, analyses, schedule);
     let budgets = node_parallel_factors(&infos, max_parallel_factor, mode.intensity_aware());
 
     let mut chosen: HashMap<NodeOp, Vec<i64>> = HashMap::new();
@@ -374,7 +384,7 @@ pub fn parallelize_schedule(
         chosen.insert(info.node, factors);
     }
 
-    assign_array_partitions(ctx, schedule, &chosen);
+    assign_array_partitions(ctx, analyses, schedule, &chosen);
     Ok(())
 }
 
@@ -436,6 +446,7 @@ fn constraints_for(
 /// unroll factors and the access strides of the nodes touching it.
 pub fn assign_array_partitions(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     schedule: ScheduleOp,
     chosen: &HashMap<NodeOp, Vec<i64>>,
 ) {
@@ -453,7 +464,7 @@ pub fn assign_array_partitions(
                 Some(u) => u.clone(),
                 None => continue,
             };
-            let profile = profile_body(ctx, node.id());
+            let profile = analyses.get::<ComputeProfile>(ctx, node.id());
             let access = node
                 .arg_for(ctx, value)
                 .and_then(|arg| profile.access_of(arg).cloned());
@@ -509,14 +520,15 @@ mod tests {
     use hida_frontend::listing1::build_listing1;
 
     /// Lowers Listing 1 to a structural schedule and returns its pieces.
-    fn listing1_schedule() -> (Context, ScheduleOp) {
+    fn listing1_schedule() -> (Context, ScheduleOp, AnalysisManager) {
         let mut ctx = Context::new();
         let module = ctx.create_module("m");
         let l1 = build_listing1(&mut ctx, module);
         construct_functional_dataflow(&mut ctx, l1.func).unwrap();
-        let schedule = lower_to_structural(&mut ctx, l1.func).unwrap();
+        let mut analyses = AnalysisManager::new();
+        let schedule = lower_to_structural(&mut ctx, &mut analyses, l1.func).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
-        (ctx, schedule)
+        (ctx, schedule, analyses)
     }
 
     fn node_by_name(ctx: &Context, schedule: ScheduleOp, name_part: &str) -> NodeOp {
@@ -529,8 +541,8 @@ mod tests {
 
     #[test]
     fn connections_reproduce_table4_maps() {
-        let (ctx, schedule) = listing1_schedule();
-        let connections = analyze_connections(&ctx, schedule);
+        let (ctx, schedule, mut analyses) = listing1_schedule();
+        let connections = analyze_connections(&ctx, &mut analyses, schedule);
         assert_eq!(connections.len(), 2, "A and B each connect two nodes");
 
         // The Node0 -> Node2 connection through array A.
@@ -559,8 +571,8 @@ mod tests {
 
     #[test]
     fn node_ordering_and_parallel_factors_match_table5() {
-        let (ctx, schedule) = listing1_schedule();
-        let infos = analyze_nodes(&ctx, schedule);
+        let (ctx, schedule, mut analyses) = listing1_schedule();
+        let infos = analyze_nodes(&ctx, &mut analyses, schedule);
         // Node2 (two connections, highest intensity) is parallelized first.
         assert!(infos[0].node.name(&ctx).contains("task2"));
         assert_eq!(infos[0].connections, 2);
@@ -581,9 +593,10 @@ mod tests {
 
     #[test]
     fn ia_ca_unroll_factors_align_with_connections() {
-        let (mut ctx, schedule) = listing1_schedule();
+        let (mut ctx, schedule, mut analyses) = listing1_schedule();
         parallelize_schedule(
             &mut ctx,
+            &mut analyses,
             schedule,
             32,
             ParallelMode::IaCa,
@@ -608,8 +621,16 @@ mod tests {
     #[test]
     fn array_partitions_shrink_with_ia_ca_as_in_table6() {
         let total_banks = |mode: ParallelMode| -> i64 {
-            let (mut ctx, schedule) = listing1_schedule();
-            parallelize_schedule(&mut ctx, schedule, 32, mode, &FpgaDevice::pynq_z2()).unwrap();
+            let (mut ctx, schedule, mut analyses) = listing1_schedule();
+            parallelize_schedule(
+                &mut ctx,
+                &mut analyses,
+                schedule,
+                32,
+                mode,
+                &FpgaDevice::pynq_z2(),
+            )
+            .unwrap();
             schedule
                 .internal_buffers(&ctx)
                 .iter()

@@ -11,7 +11,11 @@
 //! The structural [`ScheduleOp`] produced by [`LowerPass`] flows to the later
 //! structural passes through the typed [`PipelineState`] slot map, so a custom
 //! pipeline can splice in extra passes between lowering and parallelization
-//! without any signature changes.
+//! without any signature changes. Compute profiles and dataflow graphs flow
+//! through the pass manager's `AnalysisManager` instead: each pass fetches
+//! them from the cache and declares which analyses its mutations preserve, so
+//! a profile computed once (e.g. while lowering a task to a node) is reused by
+//! every later pass until the IR underneath it actually changes.
 //!
 //! The default pipeline assembled from [`HidaOptions`] is:
 //!
@@ -27,8 +31,11 @@
 
 use crate::{construct, fusion, lower, parallelize, structural_opt, tiling};
 use crate::{HidaOptions, ParallelMode};
+use hida_dataflow_ir::graph::DataflowGraph;
 use hida_dataflow_ir::structural::ScheduleOp;
+use hida_dialects::analysis::ComputeProfile;
 use hida_estimator::device::FpgaDevice;
+use hida_ir_core::analysis::{AnalysisManager, PreservedAnalyses};
 use hida_ir_core::pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
 use hida_ir_core::registry::{PassRegistry, PipelineError};
 use hida_ir_core::{
@@ -55,7 +62,13 @@ impl Pass for ConstructPass {
         "hida-construct-dataflow"
     }
 
-    fn run(&self, ctx: &mut Context, root: OpId, _state: &mut PipelineState) -> IrResult<()> {
+    fn run(
+        &self,
+        ctx: &mut Context,
+        root: OpId,
+        _state: &mut PipelineState,
+        _analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
         construct::construct_functional_dataflow(ctx, root)
     }
 }
@@ -95,8 +108,21 @@ impl Pass for FusionPass {
         vec![PassOption::new("patterns", names.join("+"))]
     }
 
-    fn run(&self, ctx: &mut Context, root: OpId, _state: &mut PipelineState) -> IrResult<()> {
-        fusion::fuse_tasks(ctx, root, &self.patterns)
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        // Fusing two tasks erases them (their cache entries die with them) and
+        // moves their bodies into a fresh task; every surviving task's body is
+        // untouched, so its cached profile stays exact.
+        PreservedAnalyses::none().preserve::<ComputeProfile>()
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        root: OpId,
+        _state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
+        fusion::fuse_tasks(ctx, analyses, root, &self.patterns)
     }
 }
 
@@ -110,8 +136,21 @@ impl Pass for LowerPass {
         "hida-lower-structural"
     }
 
-    fn run(&self, ctx: &mut Context, root: OpId, state: &mut PipelineState) -> IrResult<()> {
-        let schedule = lower::lower_to_structural(ctx, root)?;
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        // Lowering clones task bodies into fresh nodes and erases the
+        // functional ops afterwards: live roots keep their exact profiles
+        // (which is what lets lowering consume the profiles fusion cached).
+        PreservedAnalyses::none().preserve::<ComputeProfile>()
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        root: OpId,
+        state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
+        let schedule = lower::lower_to_structural(ctx, analyses, root)?;
         state.insert(schedule);
         Ok(())
     }
@@ -126,7 +165,21 @@ impl Pass for MultiProducerEliminationPass {
         "hida-eliminate-multi-producers"
     }
 
-    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        // Buffer duplication only rewires node operands; fused producer nodes
+        // are erased (dropping their entries). Node body profiles survive. The
+        // dataflow graph does change (new buffers/copy nodes), so it is not
+        // declared.
+        PreservedAnalyses::none().preserve::<ComputeProfile>()
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _root: OpId,
+        state: &mut PipelineState,
+        _analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
         let schedule = schedule_from(state, self.name())?;
         structural_opt::eliminate_multi_producers(ctx, schedule)
     }
@@ -153,9 +206,27 @@ impl Pass for TilingPass {
         ]
     }
 
-    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        // Tiling annotates nodes with tile sizes and adds tile-local buffers;
+        // node bodies and hence their profiles are untouched.
+        PreservedAnalyses::none().preserve::<ComputeProfile>()
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _root: OpId,
+        state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
         let schedule = schedule_from(state, self.name())?;
-        tiling::apply_tiling(ctx, schedule, self.tile_size, self.external_threshold_bytes);
+        tiling::apply_tiling(
+            ctx,
+            analyses,
+            schedule,
+            self.tile_size,
+            self.external_threshold_bytes,
+        );
         Ok(())
     }
 }
@@ -179,9 +250,23 @@ impl Pass for BalancePass {
         )]
     }
 
-    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        // Deepening buffers edits attributes; soft FIFOs insert token push/pop
+        // ops, which carry no arithmetic or memory-access semantics the
+        // profile counts. The dataflow graph gains token edges, so only the
+        // profile is declared.
+        PreservedAnalyses::none().preserve::<ComputeProfile>()
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _root: OpId,
+        state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
         let schedule = schedule_from(state, self.name())?;
-        structural_opt::balance_data_paths(ctx, schedule, self.external_threshold_bytes)
+        structural_opt::balance_data_paths(ctx, analyses, schedule, self.external_threshold_bytes)
     }
 }
 
@@ -210,10 +295,26 @@ impl Pass for ParallelizePass {
         ]
     }
 
-    fn run(&self, ctx: &mut Context, _root: OpId, state: &mut PipelineState) -> IrResult<()> {
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        // Parallelization records unroll factors, budgets and partitions as
+        // attributes only; neither node bodies nor the schedule's
+        // producer/consumer topology change.
+        PreservedAnalyses::none()
+            .preserve::<ComputeProfile>()
+            .preserve::<DataflowGraph>()
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _root: OpId,
+        state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
         let schedule = schedule_from(state, self.name())?;
         parallelize::parallelize_schedule(
             ctx,
+            analyses,
             schedule,
             self.max_parallel_factor,
             self.mode,
@@ -368,6 +469,17 @@ impl Pipeline {
     /// Per-pass statistics of the most recent [`Pipeline::run`].
     pub fn statistics(&self) -> &[PassStatistics] {
         self.manager.statistics()
+    }
+
+    /// The analysis cache shared by the pipeline's passes.
+    pub fn analyses(&self) -> &AnalysisManager {
+        self.manager.analyses()
+    }
+
+    /// Mutable access to the analysis cache, so post-run reporting reuses the
+    /// profiles the passes left behind instead of recomputing them.
+    pub fn analyses_mut(&mut self) -> &mut AnalysisManager {
+        self.manager.analyses_mut()
     }
 
     /// Executes the pipeline on `func` through the [`PassManager`] and returns the

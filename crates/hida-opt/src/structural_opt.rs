@@ -16,7 +16,7 @@ use hida_dataflow_ir::interface::{build_token_pop, build_token_push};
 use hida_dataflow_ir::structural::{build_node, build_stream, BufferOp, NodeOp, ScheduleOp};
 use hida_dialects::analysis::MemEffect;
 use hida_dialects::hls::MemoryKind;
-use hida_ir_core::{Context, IrResult, OpBuilder, OpId, Type, ValueId};
+use hida_ir_core::{AnalysisManager, Context, IrResult, OpBuilder, OpId, Type, ValueId};
 
 /// Eliminates buffers with multiple producer nodes (Algorithm 3).
 ///
@@ -151,10 +151,11 @@ pub fn fuse_nodes(ctx: &mut Context, schedule: ScheduleOp, nodes: &[NodeOp]) -> 
 /// Currently infallible; the `Result` keeps the pass signature uniform.
 pub fn balance_data_paths(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     schedule: ScheduleOp,
     external_threshold_bytes: i64,
 ) -> IrResult<()> {
-    let graph = DataflowGraph::from_schedule(ctx, schedule);
+    let graph = analyses.get::<DataflowGraph>(ctx, schedule.id());
     for (edge, imbalance) in graph.unbalanced_edges() {
         let required_depth = imbalance as i64 + 1;
         let buffer_op = match ctx.value(edge.buffer).defining_op() {
@@ -364,7 +365,7 @@ mod tests {
                 (b_out, MemEffect::Write),
             ],
         );
-        balance_data_paths(&mut ctx, schedule, 1 << 20).unwrap();
+        balance_data_paths(&mut ctx, &mut AnalysisManager::new(), schedule, 1 << 20).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
         let skip_op =
             BufferOp::try_from_op(&ctx, ctx.value(b_skip).defining_op().unwrap()).unwrap();
@@ -408,7 +409,7 @@ mod tests {
             ],
         );
         // Threshold far below the 64 KiB skip buffer -> soft FIFO.
-        balance_data_paths(&mut ctx, schedule, 1024).unwrap();
+        balance_data_paths(&mut ctx, &mut AnalysisManager::new(), schedule, 1024).unwrap();
         hida_ir_core::verifier::verify(&ctx, module).unwrap();
         let skip_op =
             BufferOp::try_from_op(&ctx, ctx.value(b_skip).defining_op().unwrap()).unwrap();

@@ -13,14 +13,17 @@
 //!   touching it (the "Tile Load / Tile Comp. / Tile Store" structure of Figure 3).
 
 use hida_dataflow_ir::structural::{build_buffer, ScheduleOp};
-use hida_dialects::analysis::{profile_body, MemEffect};
+use hida_dialects::analysis::{ComputeProfile, MemEffect};
 use hida_dialects::hls::MemoryKind;
 use hida_dialects::transforms;
-use hida_ir_core::{Context, OpBuilder, Type};
+use hida_ir_core::{AnalysisManager, Context, OpBuilder, Type};
 
 /// Applies tiling with the given square tile size and external-memory threshold.
+/// Node profiles are fetched through `analyses`: tiling only annotates nodes and
+/// adds buffers, so cached profiles (warmed during lowering) are reused as-is.
 pub fn apply_tiling(
     ctx: &mut Context,
+    analyses: &mut AnalysisManager,
     schedule: ScheduleOp,
     tile_size: i64,
     external_threshold_bytes: i64,
@@ -30,7 +33,7 @@ pub fn apply_tiling(
     // 1. Annotate every node with per-dimension tile sizes (spatial dims clamped to
     //    the tile, reduction dims untouched).
     for node in schedule.nodes(ctx) {
-        let profile = profile_body(ctx, node.id());
+        let profile = analyses.get::<ComputeProfile>(ctx, node.id());
         if profile.loop_dims.is_empty() {
             continue;
         }
@@ -96,8 +99,9 @@ mod tests {
         let module = ctx.create_module("m");
         let func = build_model(&mut ctx, module, Model::LeNet);
         construct_functional_dataflow(&mut ctx, func).unwrap();
-        fuse_tasks(&mut ctx, func, &default_fusion_patterns()).unwrap();
-        let schedule = lower_to_structural(&mut ctx, func).unwrap();
+        let mut analyses = AnalysisManager::new();
+        fuse_tasks(&mut ctx, &mut analyses, func, &default_fusion_patterns()).unwrap();
+        let schedule = lower_to_structural(&mut ctx, &mut analyses, func).unwrap();
         (ctx, schedule)
     }
 
@@ -105,10 +109,11 @@ mod tests {
     fn tiling_annotates_nodes_and_spills_large_buffers() {
         let (mut ctx, schedule) = lenet_schedule();
         let before_buffers = schedule.internal_buffers(&ctx).len();
-        apply_tiling(&mut ctx, schedule, 4, 1024);
+        let mut analyses = AnalysisManager::new();
+        apply_tiling(&mut ctx, &mut analyses, schedule, 4, 1024);
         // Every node has tile sizes recorded.
         for node in schedule.nodes(&ctx) {
-            let profile = profile_body(&ctx, node.id());
+            let profile = analyses.get::<ComputeProfile>(&ctx, node.id());
             if profile.loop_dims.is_empty() {
                 continue;
             }
@@ -136,7 +141,13 @@ mod tests {
     #[test]
     fn small_buffers_stay_on_chip_with_generous_threshold() {
         let (mut ctx, schedule) = lenet_schedule();
-        apply_tiling(&mut ctx, schedule, 8, 10 * 1024 * 1024);
+        apply_tiling(
+            &mut ctx,
+            &mut AnalysisManager::new(),
+            schedule,
+            8,
+            10 * 1024 * 1024,
+        );
         let external = schedule
             .internal_buffers(&ctx)
             .iter()

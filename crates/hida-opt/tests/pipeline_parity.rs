@@ -41,11 +41,13 @@ struct BufferSnapshot {
 }
 
 fn snapshot(ctx: &Context, schedule: ScheduleOp) -> ScheduleSnapshot {
+    let mut analyses = hida_ir_core::AnalysisManager::new();
     let nodes = schedule
         .nodes(ctx)
         .into_iter()
         .map(|node| {
-            let rank = hida_dialects::analysis::profile_body(ctx, node.id())
+            let rank = analyses
+                .get::<hida_dialects::analysis::ComputeProfile>(ctx, node.id())
                 .loop_dims
                 .len();
             NodeSnapshot {
@@ -70,23 +72,36 @@ fn snapshot(ctx: &Context, schedule: ScheduleOp) -> ScheduleSnapshot {
 
 /// Replays the seed's hand-rolled optimizer sequence step by step.
 fn run_hand_rolled(ctx: &mut Context, func: OpId, options: &HidaOptions) -> ScheduleOp {
+    let mut analyses = hida_ir_core::AnalysisManager::new();
     construct::construct_functional_dataflow(ctx, func).unwrap();
     if options.enable_fusion {
-        fusion::fuse_tasks(ctx, func, &fusion::default_fusion_patterns()).unwrap();
+        fusion::fuse_tasks(ctx, &mut analyses, func, &fusion::default_fusion_patterns()).unwrap();
     }
-    let schedule = lower::lower_to_structural(ctx, func).unwrap();
+    let schedule = lower::lower_to_structural(ctx, &mut analyses, func).unwrap();
     if options.enable_balancing {
         structural_opt::eliminate_multi_producers(ctx, schedule).unwrap();
     }
     if let Some(tile) = options.tile_size {
-        tiling::apply_tiling(ctx, schedule, tile, options.external_threshold_bytes);
+        tiling::apply_tiling(
+            ctx,
+            &mut analyses,
+            schedule,
+            tile,
+            options.external_threshold_bytes,
+        );
     }
     if options.enable_balancing {
-        structural_opt::balance_data_paths(ctx, schedule, options.external_threshold_bytes)
-            .unwrap();
+        structural_opt::balance_data_paths(
+            ctx,
+            &mut analyses,
+            schedule,
+            options.external_threshold_bytes,
+        )
+        .unwrap();
     }
     parallelize::parallelize_schedule(
         ctx,
+        &mut analyses,
         schedule,
         options.max_parallel_factor,
         options.mode,

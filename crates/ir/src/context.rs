@@ -15,7 +15,7 @@ use crate::types::Type;
 use std::collections::HashMap;
 
 /// Arena owner of the IR. See the [module documentation](self) for an overview.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Context {
     ops: Vec<Operation>,
     blocks: Vec<Block>,
@@ -25,6 +25,31 @@ pub struct Context {
     op_alive: Vec<bool>,
     /// Use list: value -> operations currently using it as an operand.
     uses: HashMap<ValueId, Vec<OpId>>,
+    /// Process-unique context identity, so caches keyed by (context, op) can
+    /// never confuse entities of two different contexts.
+    id: u64,
+    /// Monotonically increasing mutation counter: every structural change (op
+    /// creation/erasure/movement, operand or attribute edits) bumps it, letting
+    /// the [`AnalysisManager`](crate::analysis::AnalysisManager) detect stale
+    /// cached analyses with one integer comparison.
+    generation: u64,
+}
+
+static NEXT_CONTEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl Default for Context {
+    fn default() -> Self {
+        Context {
+            ops: Vec::new(),
+            blocks: Vec::new(),
+            regions: Vec::new(),
+            values: Vec::new(),
+            op_alive: Vec::new(),
+            uses: HashMap::new(),
+            id: NEXT_CONTEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            generation: 0,
+        }
+    }
 }
 
 /// A mapping from old values to new values used while cloning IR.
@@ -62,6 +87,29 @@ impl Context {
     }
 
     // ------------------------------------------------------------------
+    // Identity and mutation generation
+    // ------------------------------------------------------------------
+
+    /// Process-unique identity of this context.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The current mutation generation. Bumped by every structural mutation
+    /// (op creation, erasure, movement, operand edits) and by handing out
+    /// mutable entity references ([`Context::op_mut`] and friends, which may
+    /// edit analysis-relevant attributes). Cached analyses stamped with an
+    /// older generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    #[inline]
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
 
@@ -74,7 +122,11 @@ impl Context {
     }
 
     /// Returns a mutable reference to the operation payload for `id`.
+    ///
+    /// Counts as a mutation: attribute edits through this handle can change
+    /// analysis results, so the generation is bumped conservatively.
     pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        self.bump_generation();
         &mut self.ops[id.index()]
     }
 
@@ -84,7 +136,9 @@ impl Context {
     }
 
     /// Returns a mutable reference to the block payload for `id`.
+    /// Counts as a mutation (see [`Context::op_mut`]).
     pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        self.bump_generation();
         &mut self.blocks[id.index()]
     }
 
@@ -94,7 +148,9 @@ impl Context {
     }
 
     /// Returns a mutable reference to the region payload for `id`.
+    /// Counts as a mutation (see [`Context::op_mut`]).
     pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        self.bump_generation();
         &mut self.regions[id.index()]
     }
 
@@ -125,6 +181,7 @@ impl Context {
     /// Allocates a new operation from a detached [`Operation`] payload and registers
     /// the uses of its operands. The operation is not attached to any block yet.
     pub fn create_op(&mut self, op: Operation) -> OpId {
+        self.bump_generation();
         let id = OpId::from_index(self.ops.len());
         for &operand in &op.operands {
             self.uses.entry(operand).or_default().push(id);
@@ -136,6 +193,7 @@ impl Context {
 
     /// Creates a fresh empty region owned by `parent`.
     pub fn create_region(&mut self, parent: OpId) -> RegionId {
+        self.bump_generation();
         let id = RegionId::from_index(self.regions.len());
         self.regions.push(Region {
             blocks: Vec::new(),
@@ -147,6 +205,7 @@ impl Context {
 
     /// Creates a fresh empty block appended to `region`.
     pub fn create_block(&mut self, region: RegionId) -> BlockId {
+        self.bump_generation();
         let id = BlockId::from_index(self.blocks.len());
         self.blocks.push(Block {
             args: Vec::new(),
@@ -159,6 +218,7 @@ impl Context {
 
     /// Appends a new result of type `ty` to operation `op` and returns its value id.
     pub fn add_result(&mut self, op: OpId, ty: Type) -> ValueId {
+        self.bump_generation();
         let index = self.ops[op.index()].results.len();
         let vid = ValueId::from_index(self.values.len());
         self.values.push(Value {
@@ -172,6 +232,7 @@ impl Context {
 
     /// Appends a new argument of type `ty` to block `block` and returns its value id.
     pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        self.bump_generation();
         let index = self.blocks[block.index()].args.len();
         let vid = ValueId::from_index(self.values.len());
         self.values.push(Value {
@@ -205,6 +266,7 @@ impl Context {
 
     /// Appends `op` at the end of `block`.
     pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        self.bump_generation();
         debug_assert!(self.ops[op.index()].parent_block.is_none());
         self.blocks[block.index()].ops.push(op);
         self.ops[op.index()].parent_block = Some(block);
@@ -212,6 +274,7 @@ impl Context {
 
     /// Inserts `op` into `block` at position `index`.
     pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
+        self.bump_generation();
         debug_assert!(self.ops[op.index()].parent_block.is_none());
         let ops = &mut self.blocks[block.index()].ops;
         let index = index.min(ops.len());
@@ -221,6 +284,7 @@ impl Context {
 
     /// Detaches `op` from its parent block (the op stays alive).
     pub fn detach_op(&mut self, op: OpId) {
+        self.bump_generation();
         if let Some(block) = self.ops[op.index()].parent_block.take() {
             let ops = &mut self.blocks[block.index()].ops;
             if let Some(pos) = ops.iter().position(|&o| o == op) {
@@ -265,6 +329,7 @@ impl Context {
 
     /// Appends `value` as a new operand of `op`.
     pub fn add_operand(&mut self, op: OpId, value: ValueId) {
+        self.bump_generation();
         self.ops[op.index()].operands.push(value);
         self.uses.entry(value).or_default().push(op);
     }
@@ -275,6 +340,7 @@ impl Context {
         if old == value {
             return;
         }
+        self.bump_generation();
         self.ops[op.index()].operands[index] = value;
         self.remove_use(old, op);
         self.uses.entry(value).or_default().push(op);
@@ -282,6 +348,7 @@ impl Context {
 
     /// Removes all operands of `op`, updating the use lists.
     pub fn clear_operands(&mut self, op: OpId) {
+        self.bump_generation();
         let operands = std::mem::take(&mut self.ops[op.index()].operands);
         for v in operands {
             self.remove_use(v, op);
@@ -494,6 +561,7 @@ impl Context {
         if !self.is_alive(op) {
             return;
         }
+        self.bump_generation();
         self.detach_op(op);
         // Recursively erase nested ops first.
         let regions = self.ops[op.index()].regions.clone();

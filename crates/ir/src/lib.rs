@@ -12,7 +12,9 @@
 //! * an [`OpBuilder`] with insertion points,
 //! * a textual [printer](printer), a structural [verifier](verifier),
 //! * pre/post-order [walkers](walk), use-def chains and replace-all-uses,
-//! * a [pattern rewriting](rewrite) driver and a [pass manager](pass).
+//! * a [pattern rewriting](rewrite) driver and a [pass manager](pass),
+//! * a cached [analysis manager](analysis) with generation-based invalidation
+//!   and per-pass preservation declarations.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 //! assert!(text.contains("arith.constant"));
 //! ```
 
+pub mod analysis;
 pub mod attributes;
 pub mod builder;
 pub mod context;
@@ -44,6 +47,7 @@ pub mod types;
 pub mod verifier;
 pub mod walk;
 
+pub use analysis::{Analysis, AnalysisCacheStats, AnalysisManager, PreservedAnalyses};
 pub use attributes::Attribute;
 pub use builder::OpBuilder;
 pub use context::Context;

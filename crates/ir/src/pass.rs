@@ -10,6 +10,7 @@
 //! (e.g. a `ScheduleOp`) and every later pass retrieves it by type, which keeps the
 //! `Pass` trait itself independent of any particular dialect crate.
 
+use crate::analysis::{AnalysisCacheStats, AnalysisManager, PreservedAnalyses};
 use crate::context::Context;
 use crate::error::{IrError, IrResult};
 use crate::ids::OpId;
@@ -132,13 +133,28 @@ pub trait Pass {
         true
     }
 
+    /// The analyses this pass provably does not invalidate. The pass manager
+    /// keeps the declared entries alive across the pass's generation bumps
+    /// (and, in debug builds, verifies the declaration by recomputation at pass
+    /// exit). The conservative default invalidates everything.
+    fn preserved_analyses(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none()
+    }
+
     /// Runs the pass over the IR rooted at `root`. Cross-pass artifacts are
-    /// exchanged through `state`.
+    /// exchanged through `state`; structural facts (profiles, graphs) are
+    /// fetched through `analyses` so repeated queries hit the cache.
     ///
     /// # Errors
     /// Returns an error when the pass cannot complete; the pass manager aborts the
     /// pipeline in that case.
-    fn run(&self, ctx: &mut Context, root: OpId, state: &mut PipelineState) -> IrResult<()>;
+    fn run(
+        &self,
+        ctx: &mut Context,
+        root: OpId,
+        state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()>;
 }
 
 /// Timing and size statistics recorded for each executed pass.
@@ -154,6 +170,11 @@ pub struct PassStatistics {
     pub live_ops_after: usize,
     /// Whether post-pass verification ran for this pass.
     pub verified: bool,
+    /// True when this pass aborted the pipeline (its own failure or a post-pass
+    /// verification failure); always the last record of a failing run.
+    pub failed: bool,
+    /// Analysis cache traffic attributed to this pass.
+    pub cache: AnalysisCacheStats,
     /// The pass instance's configured options.
     pub options: Vec<PassOption>,
 }
@@ -162,6 +183,16 @@ impl PassStatistics {
     /// Net change in live op count produced by the pass (positive = ops created).
     pub fn op_delta(&self) -> i64 {
         self.live_ops_after as i64 - self.live_ops_before as i64
+    }
+
+    /// Sums the analysis-cache counters of a pass sequence (pipeline reports,
+    /// `--stats-json`, `CompilationResult::analysis_cache`).
+    pub fn aggregate_cache(statistics: &[PassStatistics]) -> AnalysisCacheStats {
+        let mut totals = AnalysisCacheStats::default();
+        for stat in statistics {
+            totals.accumulate(&stat.cache);
+        }
+        totals
     }
 }
 
@@ -176,19 +207,28 @@ impl fmt::Display for PassStatistics {
             self.live_ops_after,
             self.op_delta()
         )?;
+        if self.cache.total_queries() > 0 || self.cache.preserved > 0 {
+            write!(f, ", analyses {}", self.cache)?;
+        }
         if !self.options.is_empty() {
             let rendered: Vec<String> = self.options.iter().map(|o| o.to_string()).collect();
             write!(f, " [{}]", rendered.join(", "))?;
+        }
+        if self.failed {
+            write!(f, " FAILED")?;
         }
         Ok(())
     }
 }
 
-/// Runs a sequence of passes with optional inter-pass verification.
+/// Runs a sequence of passes with optional inter-pass verification. Owns the
+/// [`AnalysisManager`] threaded through every pass, so cached analyses survive
+/// from pass to pass and per-pass cache traffic lands in [`PassStatistics`].
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
     statistics: Vec<PassStatistics>,
+    analyses: AnalysisManager,
 }
 
 impl Default for PassManager {
@@ -204,6 +244,7 @@ impl PassManager {
             passes: Vec::new(),
             verify_each: true,
             statistics: Vec::new(),
+            analyses: AnalysisManager::new(),
         }
     }
 
@@ -239,6 +280,17 @@ impl PassManager {
         &self.statistics
     }
 
+    /// The analysis cache shared by the registered passes.
+    pub fn analyses(&self) -> &AnalysisManager {
+        &self.analyses
+    }
+
+    /// Mutable access to the analysis cache, e.g. for post-pipeline reporting
+    /// that wants to reuse results the passes left behind.
+    pub fn analyses_mut(&mut self) -> &mut AnalysisManager {
+        &mut self.analyses
+    }
+
     /// Runs all registered passes in order over the IR rooted at `root`, returning
     /// the final pipeline state so callers can extract produced artifacts.
     ///
@@ -262,29 +314,57 @@ impl PassManager {
         state: &mut PipelineState,
     ) -> IrResult<()> {
         self.statistics.clear();
+        // Entries from other contexts (a reused manager across compiles) can
+        // never be valid here; drop them before any counters are recorded.
+        self.analyses.retain_context(ctx);
         for pass in &self.passes {
+            let name = pass.name().to_string();
+            let options = pass.options();
             let live_ops_before = ctx.num_live_ops();
+            self.analyses
+                .begin_pass(ctx, &name, pass.preserved_analyses());
             let start = Instant::now();
-            pass.run(ctx, root, state).map_err(|e| match e {
-                // Don't re-wrap errors the pass already attributed to itself.
-                IrError::PassFailed { pass: ref p, .. } if p == pass.name() => e,
-                other => IrError::pass_failed(pass.name(), other.to_string()),
-            })?;
+            let result = pass.run(ctx, root, state, &mut self.analyses).map_err(|e| {
+                match e {
+                    // Don't re-wrap errors the pass already attributed to itself.
+                    IrError::PassFailed { pass: ref p, .. } if p == &name => e,
+                    other => IrError::pass_failed(&name, other.to_string()),
+                }
+            });
             let micros = start.elapsed().as_micros();
-            let verified = self.verify_each && pass.verify_after();
-            if verified {
-                verify(ctx, root).map_err(|e| {
-                    IrError::pass_failed(pass.name(), format!("post-pass verification: {e}"))
-                })?;
-            }
-            self.statistics.push(PassStatistics {
-                pass: pass.name().to_string(),
+            // Even a failing pass leaves a statistics record, so pipeline
+            // reports show where and after how long a run died.
+            let record = |verified: bool, failed: bool, cache: AnalysisCacheStats| PassStatistics {
+                pass: name.clone(),
                 micros,
                 live_ops_before,
                 live_ops_after: ctx.num_live_ops(),
                 verified,
-                options: pass.options(),
-            });
+                failed,
+                cache,
+                options: options.clone(),
+            };
+            if let Err(error) = result {
+                let cache = self.analyses.abort_pass(ctx);
+                self.statistics.push(record(false, true, cache));
+                return Err(error);
+            }
+            let (cache, lie) = self.analyses.end_pass(ctx);
+            if let Some(lie) = lie {
+                self.statistics.push(record(false, true, cache));
+                return Err(IrError::pass_failed(&name, lie.to_string()));
+            }
+            let verified = self.verify_each && pass.verify_after();
+            if verified {
+                if let Err(e) = verify(ctx, root) {
+                    self.statistics.push(record(false, true, cache));
+                    return Err(IrError::pass_failed(
+                        &name,
+                        format!("post-pass verification: {e}"),
+                    ));
+                }
+            }
+            self.statistics.push(record(verified, false, cache));
         }
         Ok(())
     }
@@ -311,7 +391,13 @@ mod tests {
             // Analysis-only: nothing to re-verify.
             false
         }
-        fn run(&self, ctx: &mut Context, root: OpId, _state: &mut PipelineState) -> IrResult<()> {
+        fn run(
+            &self,
+            ctx: &mut Context,
+            root: OpId,
+            _state: &mut PipelineState,
+            _analyses: &mut AnalysisManager,
+        ) -> IrResult<()> {
             let n = ctx.collect_ops(root, "arith.constant").len();
             if n == self.expected {
                 Ok(())
@@ -330,7 +416,13 @@ mod tests {
         fn name(&self) -> &str {
             "erase-constants"
         }
-        fn run(&self, ctx: &mut Context, root: OpId, state: &mut PipelineState) -> IrResult<()> {
+        fn run(
+            &self,
+            ctx: &mut Context,
+            root: OpId,
+            state: &mut PipelineState,
+            _analyses: &mut AnalysisManager,
+        ) -> IrResult<()> {
             let mut erased = 0_usize;
             for op in ctx.collect_ops(root, "arith.constant") {
                 ctx.erase_op(op);
@@ -403,6 +495,7 @@ mod tests {
                 ctx: &mut Context,
                 root: OpId,
                 _state: &mut PipelineState,
+                _analyses: &mut AnalysisManager,
             ) -> IrResult<()> {
                 // Erase a constant that still has users, leaving a dangling operand.
                 let consts = ctx.collect_ops(root, "arith.constant");
@@ -467,12 +560,169 @@ mod tests {
             live_ops_before: 10,
             live_ops_after: 14,
             verified: true,
+            failed: false,
+            cache: AnalysisCacheStats {
+                hits: 3,
+                misses: 1,
+                invalidations: 0,
+                preserved: 2,
+            },
             options: vec![PassOption::new("tile-size", 8)],
         };
         let rendered = stats.to_string();
         assert!(rendered.contains("hida-tiling"));
         assert!(rendered.contains("10 -> 14 (+4)"));
         assert!(rendered.contains("tile-size=8"));
+        assert!(rendered.contains("3 hit / 1 miss"));
+        assert!(!rendered.contains("FAILED"));
         assert_eq!(stats.op_delta(), 4);
+    }
+
+    #[test]
+    fn failing_pass_still_records_statistics() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 2);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(EraseConstantsPass));
+        pm.add_pass(Box::new(CountConstantsPass { expected: 99 }));
+        pm.add_pass(Box::new(EraseConstantsPass));
+        assert!(pm.run(&mut ctx, module).is_err());
+        // The aborting pass leaves a (failed) record; the never-run third pass
+        // does not.
+        assert_eq!(pm.statistics().len(), 2);
+        assert!(!pm.statistics()[0].failed);
+        let aborted = &pm.statistics()[1];
+        assert_eq!(aborted.pass, "count-constants");
+        assert!(aborted.failed);
+        assert!(!aborted.verified);
+        assert!(aborted.to_string().contains("FAILED"));
+    }
+
+    /// Toy analysis for preservation tests: the number of constants below root.
+    #[derive(Debug, Clone, PartialEq)]
+    struct ConstantCount(usize);
+
+    impl crate::analysis::Analysis for ConstantCount {
+        const NAME: &'static str = "constant-count";
+        fn compute(ctx: &Context, root: OpId) -> Self {
+            ConstantCount(ctx.collect_ops(root, "arith.constant").len())
+        }
+    }
+
+    /// Queries the analysis and records whether the query hit the cache.
+    struct QueryCountPass;
+
+    impl Pass for QueryCountPass {
+        fn name(&self) -> &str {
+            "query-count"
+        }
+        fn verify_after(&self) -> bool {
+            false
+        }
+        fn run(
+            &self,
+            ctx: &mut Context,
+            root: OpId,
+            _state: &mut PipelineState,
+            analyses: &mut AnalysisManager,
+        ) -> IrResult<()> {
+            analyses.get::<ConstantCount>(ctx, root);
+            Ok(())
+        }
+    }
+
+    /// Mutates the IR in a way that provably keeps the constant count stable
+    /// (attribute annotation only) and declares so.
+    struct AnnotatePass;
+
+    impl Pass for AnnotatePass {
+        fn name(&self) -> &str {
+            "annotate"
+        }
+        fn preserved_analyses(&self) -> PreservedAnalyses {
+            PreservedAnalyses::none().preserve::<ConstantCount>()
+        }
+        fn run(
+            &self,
+            ctx: &mut Context,
+            root: OpId,
+            _state: &mut PipelineState,
+            _analyses: &mut AnalysisManager,
+        ) -> IrResult<()> {
+            ctx.op_mut(root).set_attr("annotated", 1_i64);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn declared_preservation_keeps_analyses_alive_across_a_mutating_pass() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 3);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(QueryCountPass));
+        pm.add_pass(Box::new(AnnotatePass));
+        pm.add_pass(Box::new(QueryCountPass));
+        pm.run(&mut ctx, module).unwrap();
+        let stats = pm.statistics();
+        assert_eq!(stats[0].cache.misses, 1);
+        assert_eq!(stats[1].cache.preserved, 1, "annotate kept the entry alive");
+        assert_eq!(
+            stats[2].cache.hits, 1,
+            "the second query must be served from the preserved cache"
+        );
+        assert_eq!(stats[2].cache.misses, 0);
+    }
+
+    #[test]
+    fn undeclared_mutation_forces_recomputation() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 3);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(QueryCountPass));
+        pm.add_pass(Box::new(EraseConstantsPass)); // preserves nothing
+        pm.add_pass(Box::new(QueryCountPass));
+        pm.run(&mut ctx, module).unwrap();
+        let stats = pm.statistics();
+        assert_eq!(stats[1].cache.invalidations, 1);
+        assert_eq!(stats[2].cache.misses, 1);
+        assert_eq!(stats[2].cache.hits, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lying_preservation_declaration_fails_the_pipeline() {
+        /// Erases a constant while claiming the count is preserved.
+        struct LyingPass;
+        impl Pass for LyingPass {
+            fn name(&self) -> &str {
+                "liar"
+            }
+            fn preserved_analyses(&self) -> PreservedAnalyses {
+                PreservedAnalyses::none().preserve::<ConstantCount>()
+            }
+            fn run(
+                &self,
+                ctx: &mut Context,
+                root: OpId,
+                _state: &mut PipelineState,
+                _analyses: &mut AnalysisManager,
+            ) -> IrResult<()> {
+                let consts = ctx.collect_ops(root, "arith.constant");
+                let c = consts[0];
+                ctx.erase_op(c);
+                Ok(())
+            }
+        }
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 2);
+        let mut pm = PassManager::new().with_verification(false);
+        pm.add_pass(Box::new(QueryCountPass));
+        pm.add_pass(Box::new(LyingPass));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("liar"), "{message}");
+        assert!(message.contains("constant-count"), "{message}");
+        // The lying pass still left a failed statistics record.
+        assert!(pm.statistics().last().unwrap().failed);
     }
 }

@@ -258,6 +258,7 @@ impl fmt::Debug for PassRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::AnalysisManager;
     use crate::context::Context;
     use crate::error::IrResult;
     use crate::ids::OpId;
@@ -275,7 +276,13 @@ mod tests {
         fn options(&self) -> Vec<PassOption> {
             vec![PassOption::new("amount", self.amount)]
         }
-        fn run(&self, _ctx: &mut Context, _root: OpId, _state: &mut PipelineState) -> IrResult<()> {
+        fn run(
+            &self,
+            _ctx: &mut Context,
+            _root: OpId,
+            _state: &mut PipelineState,
+            _analyses: &mut AnalysisManager,
+        ) -> IrResult<()> {
             Ok(())
         }
     }

@@ -197,7 +197,12 @@ mod tests {
         let module = ctx.create_module("m");
         let l1 = build_listing1(&mut ctx, module);
         construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
-        let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
+        let schedule = lower::lower_to_structural(
+            &mut ctx,
+            &mut hida_ir_core::AnalysisManager::new(),
+            l1.func,
+        )
+        .unwrap();
 
         let mut memory = Memory::new();
         interpret_schedule(&ctx, schedule, &mut memory);
@@ -222,10 +227,12 @@ mod tests {
             let module = ctx.create_module("m");
             let l1 = build_listing1(&mut ctx, module);
             construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
-            let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
+            let mut analyses = hida_ir_core::AnalysisManager::new();
+            let schedule = lower::lower_to_structural(&mut ctx, &mut analyses, l1.func).unwrap();
             if parallelize_it {
                 parallelize::parallelize_schedule(
                     &mut ctx,
+                    &mut analyses,
                     schedule,
                     32,
                     ParallelMode::IaCa,

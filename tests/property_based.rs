@@ -123,10 +123,12 @@ fn optimization_modes_preserve_interpreter_results() {
         let module = ctx.create_module("m");
         let l1 = hida::frontend::listing1::build_listing1(&mut ctx, module);
         construct::construct_functional_dataflow(&mut ctx, l1.func).unwrap();
-        let schedule = lower::lower_to_structural(&mut ctx, l1.func).unwrap();
+        let mut analyses = hida_ir_core::AnalysisManager::new();
+        let schedule = lower::lower_to_structural(&mut ctx, &mut analyses, l1.func).unwrap();
         if let Some(mode) = mode {
             parallelize::parallelize_schedule(
                 &mut ctx,
+                &mut analyses,
                 schedule,
                 32,
                 mode,
