@@ -21,6 +21,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> cargo test --doc (build + run the documentation examples)"
+cargo test --doc -q
+
 echo "==> hida-opt CLI ablation matrix on TwoMm (one pipeline string per variant)"
 ablations=(
   "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
@@ -28,12 +34,25 @@ ablations=(
   "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance"
   "construct,fusion,lower,tiling{factor=4},parallelize"
   "construct,lower,parallelize{max-factor=8,mode=Naive,device=zu3eg}"
+  "construct,lower,profile,parallelize{max-factor=8,device=zu3eg}"
 )
 for pipeline in "${ablations[@]}"; do
   echo "    -> ${pipeline}"
   cargo run --release -q -p hida-opt --bin hida-opt -- \
     --workload two_mm --pipeline "${pipeline}" > /dev/null
 done
+
+echo "==> parallel determinism: --jobs 1 and --jobs 4 schedules/QoR must match"
+strip_timing() { grep -v '^jobs:' | grep -vE ' us, ops |cache|workers'; }
+jobs1=$(cargo run --release -q -p hida-opt --bin hida-opt -- \
+  --workload two_mm --jobs 1 | strip_timing)
+jobs4=$(cargo run --release -q -p hida-opt --bin hida-opt -- \
+  --workload two_mm --jobs 4 | strip_timing)
+if [[ "${jobs1}" != "${jobs4}" ]]; then
+  echo "--jobs 1 and --jobs 4 outputs diverged"
+  diff <(echo "${jobs1}") <(echo "${jobs4}") || true
+  exit 1
+fi
 
 echo "==> analysis cache effectiveness (same ablation twice; both runs must report hits)"
 for attempt in 1 2; do

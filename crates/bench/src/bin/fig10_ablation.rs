@@ -43,6 +43,7 @@ fn main() {
         for &tile in &tile_sizes {
             let result = Compiler::new(HidaOptions::dnn())
                 .with_pipeline(variant(pf, tile))
+                .with_jobs(hida::ir::default_jobs())
                 .compile(Workload::Model(Model::ResNet18))
                 .expect("resnet compilation");
             println!(

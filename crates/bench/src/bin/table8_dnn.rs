@@ -8,13 +8,17 @@ use hida_bench::{print_throughput_table, Row};
 
 fn main() {
     let device = FpgaDevice::vu9p_slr();
-    let estimator = DataflowEstimator::new(device.clone());
+    // Per-node pass work and estimation parallelize across the machine; the
+    // merge order is deterministic, so the reported numbers are unchanged.
+    let jobs = hida::ir::default_jobs();
+    let estimator = DataflowEstimator::new(device.clone()).with_jobs(jobs);
     let mut throughput_rows = Vec::new();
     let mut efficiency_rows = Vec::new();
 
     println!("# Table 8 — DNN models on one VU9P SLR");
     for model in Model::table8() {
         let result = Compiler::dnn_defaults()
+            .with_jobs(jobs)
             .compile(Workload::Model(model))
             .expect("hida compilation");
         let hida_est = &result.estimate;

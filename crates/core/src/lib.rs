@@ -24,6 +24,24 @@
 //! assert!(result.hls_cpp.contains("#pragma HLS dataflow"));
 //! assert!(result.estimate.throughput() > 0.0);
 //! ```
+//!
+//! Per-node optimization and estimation can run on worker threads with
+//! [`Compiler::with_jobs`]; the merge order is deterministic, so any job count
+//! produces byte-identical results (see `docs/ARCHITECTURE.md`):
+//!
+//! ```
+//! use hida::{Compiler, Workload};
+//!
+//! let sequential = Compiler::polybench_defaults()
+//!     .compile(Workload::Polybench(hida::PolybenchKernel::TwoMm))
+//!     .unwrap();
+//! let parallel = Compiler::polybench_defaults()
+//!     .with_jobs(4)
+//!     .compile(Workload::Polybench(hida::PolybenchKernel::TwoMm))
+//!     .unwrap();
+//! assert_eq!(sequential.estimate, parallel.estimate);
+//! assert_eq!(sequential.hls_cpp, parallel.hls_cpp);
+//! ```
 
 pub use hida_baselines as baselines;
 pub use hida_dataflow_ir as dataflow_ir;
@@ -108,6 +126,9 @@ pub struct Compiler {
     options: HidaOptions,
     /// Explicit textual pipeline overriding the options-derived flow, when set.
     pipeline: Option<String>,
+    /// Worker threads for per-node pass work and QoR estimation (1 = fully
+    /// sequential).
+    jobs: usize,
 }
 
 impl Default for Compiler {
@@ -117,11 +138,13 @@ impl Default for Compiler {
 }
 
 impl Compiler {
-    /// Creates a compiler with explicit options.
+    /// Creates a compiler with explicit options and sequential (one-job)
+    /// execution.
     pub fn new(options: HidaOptions) -> Self {
         Compiler {
             options,
             pipeline: None,
+            jobs: 1,
         }
     }
 
@@ -161,6 +184,20 @@ impl Compiler {
         self.pipeline.as_deref()
     }
 
+    /// Sets the worker-thread count for per-node pass work (tiling,
+    /// parallelization, profiling) and per-node QoR estimation. `1` — the
+    /// default — is the bitwise-reproducibility escape hatch; any other value
+    /// produces byte-identical results faster on multi-node designs.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     /// Compiles a workload end to end.
     ///
     /// # Errors
@@ -198,13 +235,14 @@ impl Compiler {
             Some(text) => Pipeline::parse(&registry(), text)
                 .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?,
             None => Pipeline::from_options(&self.options),
-        };
+        }
+        .with_jobs(self.jobs);
         let schedule = pipeline.run(&mut ctx, func)?;
         let pass_statistics = pipeline.statistics().to_vec();
         let analysis_cache = PassStatistics::aggregate_cache(&pass_statistics);
         hida_ir_core::verifier::verify(&ctx, module)
             .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
-        let estimator = DataflowEstimator::new(self.options.device.clone());
+        let estimator = DataflowEstimator::new(self.options.device.clone()).with_jobs(self.jobs);
         let estimate = estimator.estimate_schedule(&ctx, schedule, true);
         let estimate_sequential = estimator.estimate_schedule(&ctx, schedule, false);
         let estimator_cache = estimator.cache_stats();

@@ -14,7 +14,8 @@ use crate::resource::Resources;
 use hida_dataflow_ir::graph::DataflowGraph;
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_ir_core::analysis::{AnalysisCacheStats, AnalysisManager};
-use hida_ir_core::{Context, OpId};
+use hida_ir_core::par::run_batch;
+use hida_ir_core::{Context, OpId, ParallelStats};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -30,16 +31,23 @@ use std::fmt;
 ///
 /// The interior cache makes the estimator `Send` but **not `Sync`**: share-
 /// nothing parallel sweeps should give each worker its own [`Clone`] (clones
-/// start with a cold cache and the same device).
+/// start with a cold cache and the same device). Independently of that,
+/// [`DataflowEstimator::with_jobs`] parallelizes *within* one estimation: the
+/// per-node half of a schedule estimate (the expensive part) fans out to a
+/// work-stealing pool over the shared read-only IR, and the computed estimates
+/// seed the memoization cache before the (sequential) schedule-level timing
+/// model reads them back.
 pub struct DataflowEstimator {
     device: FpgaDevice,
     analyses: RefCell<AnalysisManager>,
+    jobs: usize,
+    parallel: RefCell<ParallelStats>,
 }
 
 impl Clone for DataflowEstimator {
     fn clone(&self) -> Self {
         // The cache is an implementation detail; clones start cold.
-        DataflowEstimator::new(self.device.clone())
+        DataflowEstimator::new(self.device.clone()).with_jobs(self.jobs)
     }
 }
 
@@ -48,17 +56,40 @@ impl fmt::Debug for DataflowEstimator {
         f.debug_struct("DataflowEstimator")
             .field("device", &self.device)
             .field("cache", &self.analyses.borrow().stats())
+            .field("jobs", &self.jobs)
             .finish()
     }
 }
 
 impl DataflowEstimator {
-    /// Creates an estimator for the given device.
+    /// Creates a sequential (one-job) estimator for the given device.
     pub fn new(device: FpgaDevice) -> Self {
         DataflowEstimator {
             device,
             analyses: RefCell::new(AnalysisManager::new()),
+            jobs: 1,
+            parallel: RefCell::new(ParallelStats::default()),
         }
+    }
+
+    /// Sets the worker-thread count for per-node estimation inside
+    /// [`DataflowEstimator::estimate_schedule`]. `1` (the default) keeps the
+    /// estimator fully sequential; estimates are identical either way because
+    /// each node's model is a pure function of the IR and the device.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Accumulated worker/steal counters of the parallel per-node estimation
+    /// batches this estimator ran (all-zero when sequential).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.parallel.borrow().clone()
     }
 
     /// The target device.
@@ -95,6 +126,38 @@ impl DataflowEstimator {
             })
     }
 
+    /// The parallel half of a schedule estimate: computes every *missing*
+    /// per-node estimate on the work-stealing pool (read-only over the shared
+    /// IR) and seeds the memoization cache, so the subsequent sequential
+    /// queries are pure hits. A no-op under one job or when at most one node
+    /// needs computing.
+    fn warm_node_estimates(&self, ctx: &Context, nodes: &[hida_dataflow_ir::structural::NodeOp]) {
+        if self.jobs <= 1 {
+            return;
+        }
+        let missing: Vec<OpId> = nodes
+            .iter()
+            .map(|n| n.id())
+            .filter(|&op| {
+                self.analyses
+                    .borrow()
+                    .cached_any::<NodeEstimate>(ctx, op)
+                    .is_none()
+            })
+            .collect();
+        if missing.len() <= 1 {
+            return;
+        }
+        let device = &self.device;
+        let (estimates, stats) =
+            run_batch(self.jobs, &missing, |&op| estimate_body(ctx, op, device));
+        self.parallel.borrow_mut().accumulate(&stats);
+        let mut analyses = self.analyses.borrow_mut();
+        for (&op, estimate) in missing.iter().zip(estimates) {
+            analyses.get_with(ctx, op, "node-estimate", move |_, _| estimate);
+        }
+    }
+
     fn graph(&self, ctx: &Context, schedule: ScheduleOp) -> DataflowGraph {
         self.analyses
             .borrow_mut()
@@ -112,6 +175,7 @@ impl DataflowEstimator {
         dataflow_enabled: bool,
     ) -> DesignEstimate {
         let nodes = schedule.nodes(ctx);
+        self.warm_node_estimates(ctx, &nodes);
         let node_estimates: Vec<NodeEstimate> = nodes
             .iter()
             .map(|&n| self.body_estimate(ctx, n.id()))

@@ -13,8 +13,14 @@
 //!   pipeline, partition and tiling decisions,
 //! * [`dataflow`] — schedule-level throughput model with ping-pong buffers,
 //!   unbalanced-path stalls, and external-memory transfer costs,
-//! * [`report`] — the [`DesignEstimate`](report::DesignEstimate) summary (throughput,
+//! * [`report`] — the [`DesignEstimate`] summary (throughput,
 //!   DSP efficiency, utilization) reported by every benchmark harness.
+//!
+//! Per-node estimates are memoized through the shared analysis-cache machinery
+//! and — via [`DataflowEstimator::with_jobs`](dataflow::DataflowEstimator::with_jobs)
+//! — computed on a work-stealing thread pool: the per-node half of a schedule
+//! estimate is a pure function of the IR and the device, so parallel and
+//! sequential estimation are bit-identical.
 
 pub mod dataflow;
 pub mod device;

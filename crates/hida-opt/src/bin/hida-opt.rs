@@ -36,6 +36,9 @@ usage: hida-opt [OPTIONS]
   --preset <name>       pipeline preset when --pipeline is omitted:
                         default | polybench | dnn
   --size <n>            PolyBench problem size (default: the kernel's own)
+  --jobs <n>            worker threads for per-node pass work and QoR
+                        estimation (default: available parallelism; 1 = fully
+                        sequential, bitwise-reproducible execution)
   --device <name>       device for QoR estimation: pynq-z2 | zu3eg | vu9p-slr
                         (default: the pipeline's parallelize device, else
                         vu9p-slr)
@@ -100,6 +103,7 @@ struct Args {
     pipeline: Option<String>,
     preset: Option<String>,
     size: Option<i64>,
+    jobs: Option<usize>,
     device: Option<String>,
     no_verify: bool,
     stats_json: bool,
@@ -130,6 +134,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err(format!("--size: {size} must be >= 4"));
                 }
                 args.size = Some(size);
+            }
+            "--jobs" => {
+                let raw = value_of("--jobs")?;
+                let jobs: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--jobs: '{raw}' is not an integer"))?;
+                if jobs < 1 {
+                    return Err("--jobs: must be >= 1".to_string());
+                }
+                args.jobs = Some(jobs);
             }
             "--device" => args.device = Some(value_of("--device")?),
             "--no-verify" => args.no_verify = true,
@@ -181,6 +195,19 @@ fn cache_json(cache: &AnalysisCacheStats) -> String {
     )
 }
 
+fn parallel_json(parallel: Option<&hida_ir_core::ParallelStats>) -> String {
+    match parallel {
+        Some(p) => format!(
+            "{{\"workers\":{},\"items\":{},\"steals\":{},\"imbalance\":{}}}",
+            p.workers,
+            p.items,
+            p.steals,
+            p.imbalance()
+        ),
+        None => "null".to_string(),
+    }
+}
+
 /// Renders the per-pass statistics (and their aggregate analysis-cache
 /// counters) as one machine-readable JSON object for the CI ablation matrix.
 fn stats_json(workload: &str, pipeline_text: &str, statistics: &[PassStatistics]) -> String {
@@ -201,7 +228,8 @@ fn stats_json(workload: &str, pipeline_text: &str, statistics: &[PassStatistics]
                 .collect();
             format!(
                 "{{\"pass\":\"{}\",\"micros\":{},\"live_ops_before\":{},\"live_ops_after\":{},\
-                 \"op_delta\":{},\"verified\":{},\"failed\":{},\"cache\":{},\"options\":[{}]}}",
+                 \"op_delta\":{},\"verified\":{},\"failed\":{},\"cache\":{},\"parallel\":{},\
+                 \"options\":[{}]}}",
                 json_escape(&stat.pass),
                 stat.micros,
                 stat.live_ops_before,
@@ -210,6 +238,7 @@ fn stats_json(workload: &str, pipeline_text: &str, statistics: &[PassStatistics]
                 stat.verified,
                 stat.failed,
                 cache_json(&stat.cache),
+                parallel_json(stat.parallel.as_ref()),
                 options.join(",")
             )
         })
@@ -276,6 +305,10 @@ fn run(args: Args) -> Result<(), String> {
     if args.no_verify {
         pipeline = pipeline.with_verification(false);
     }
+    // Per-node pass work (tiling, parallelize, profile) and QoR estimation run
+    // on this many workers; --jobs 1 is the reproducibility escape hatch.
+    let jobs = args.jobs.unwrap_or_else(hida_ir_core::default_jobs);
+    pipeline = pipeline.with_jobs(jobs);
 
     let mut ctx = Context::new();
     let module = ctx.create_module(workload_name);
@@ -291,6 +324,7 @@ fn run(args: Args) -> Result<(), String> {
         }
     };
     say!("pipeline: {}", pipeline.to_text());
+    say!("jobs: {jobs}");
     let pipeline_text = pipeline.to_text();
 
     let run_result = pipeline.run(&mut ctx, func);
@@ -339,7 +373,7 @@ fn run(args: Args) -> Result<(), String> {
         );
     }
 
-    let estimator = DataflowEstimator::new(device.clone());
+    let estimator = DataflowEstimator::new(device.clone()).with_jobs(jobs);
     let dataflow = estimator.estimate_schedule(&ctx, schedule, true);
     let sequential = estimator.estimate_schedule(&ctx, schedule, false);
     say!("\n# QoR estimate ({})", device.name);

@@ -21,8 +21,9 @@ use hida_dialects::linalg;
 use hida_ir_core::{AnalysisManager, Context, IrResult, OpId};
 
 /// A profitable task-fusion pattern: decides whether `task` should be fused with the
-/// adjacent `next` task.
-pub trait FusionPattern {
+/// adjacent `next` task. `Send + Sync` because pattern sets live inside pass
+/// instances, which the parallel pass manager shares with worker threads.
+pub trait FusionPattern: Send + Sync {
     /// Pattern name for diagnostics.
     fn name(&self) -> &str;
 

@@ -24,7 +24,7 @@
 //! become pipeline membership, scalar knobs become pass-instance options — and
 //! executed by the shared [`PassManager`](hida_ir_core::PassManager), which
 //! verifies the IR between passes and records per-pass
-//! [`PassStatistics`](hida_ir_core::PassStatistics) (wall-clock time, op deltas,
+//! [`PassStatistics`] (wall-clock time, op deltas,
 //! configured options). The structural `ScheduleOp` produced by lowering flows to
 //! later passes through the typed
 //! [`PipelineState`](hida_ir_core::PipelineState) slot map.
@@ -45,7 +45,7 @@
 //!
 //! # Textual pipelines and the pass registry
 //!
-//! Every pass is also registered by name in the [`registry`] module, with its
+//! Every pass is also registered by name in the [`registry`](mod@registry) module, with its
 //! knobs as named options, so ablations and custom flows are plain *strings*:
 //! `Pipeline::parse(&registry(), "construct,lower,parallelize{max-factor=8}")`.
 //! [`Pipeline::from_options`] renders its options as text
@@ -66,7 +66,7 @@ pub mod tiling;
 
 pub use pipeline::{
     BalancePass, ConstructPass, FusionPass, LowerPass, MultiProducerEliminationPass,
-    ParallelizePass, Pipeline, TilingPass,
+    ParallelizePass, Pipeline, ProfilePass, TilingPass,
 };
 pub use registry::{registry, registry_listing};
 
@@ -179,7 +179,7 @@ impl HidaOptions {
         }
     }
 
-    /// Renders these options as a textual pipeline (see [`registry`]): the single
+    /// Renders these options as a textual pipeline (see [`registry()`]): the single
     /// source of truth for the standard HIDA-OPT flow. Boolean toggles become
     /// pipeline membership, scalar knobs become pass options.
     ///

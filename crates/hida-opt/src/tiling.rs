@@ -16,7 +16,31 @@ use hida_dataflow_ir::structural::{build_buffer, ScheduleOp};
 use hida_dialects::analysis::{ComputeProfile, MemEffect};
 use hida_dialects::hls::MemoryKind;
 use hida_dialects::transforms;
-use hida_ir_core::{AnalysisManager, Context, OpBuilder, Type};
+use hida_ir_core::{
+    Analysis, AnalysisManager, AnalysisSnapshot, Context, IrResult, NodeScope, OpBuilder, Type,
+};
+
+/// Per-dimension tile sizes for a node: spatial dimensions are clamped to the
+/// square tile, reduction dimensions keep their full trip. `None` when the node
+/// has no loop structure to tile.
+pub fn tile_sizes_for(profile: &ComputeProfile, tile_size: i64) -> Option<Vec<i64>> {
+    if profile.loop_dims.is_empty() {
+        return None;
+    }
+    Some(
+        profile
+            .loop_dims
+            .iter()
+            .map(|d| {
+                if d.reduction {
+                    d.trip
+                } else {
+                    d.trip.min(tile_size)
+                }
+            })
+            .collect(),
+    )
+}
 
 /// Applies tiling with the given square tile size and external-memory threshold.
 /// Node profiles are fetched through `analyses`: tiling only annotates nodes and
@@ -30,29 +54,55 @@ pub fn apply_tiling(
 ) {
     let tile_size = tile_size.max(1);
 
-    // 1. Annotate every node with per-dimension tile sizes (spatial dims clamped to
-    //    the tile, reduction dims untouched).
+    // 1. Annotate every node with per-dimension tile sizes.
     for node in schedule.nodes(ctx) {
         let profile = analyses.get::<ComputeProfile>(ctx, node.id());
-        if profile.loop_dims.is_empty() {
-            continue;
+        if let Some(tiles) = tile_sizes_for(&profile, tile_size) {
+            transforms::apply_tile_sizes(ctx, node.id(), &tiles);
         }
-        let tiles: Vec<i64> = profile
-            .loop_dims
-            .iter()
-            .map(|d| {
-                if d.reduction {
-                    d.trip
-                } else {
-                    d.trip.min(tile_size)
-                }
-            })
-            .collect();
-        transforms::apply_tile_sizes(ctx, node.id(), &tiles);
     }
 
-    // 2. Spill large inter-node buffers to external memory, adding tile-local buffers
-    //    to the nodes that touch them.
+    // 2. Spill large inter-node buffers to external memory.
+    spill_large_buffers(ctx, schedule, tile_size, external_threshold_bytes);
+}
+
+/// The worker-thread half of tiling: computes one node's tile sizes from the
+/// frozen profile (falling back to a direct recomputation over the shared
+/// read-only context when the snapshot is cold) and records the annotation
+/// edits into the scope. Buffer spilling stays on the main thread —
+/// [`spill_large_buffers`] — because it creates ops across node boundaries.
+///
+/// # Errors
+/// Propagates scope violations.
+pub fn plan_node_tiling(
+    scope: &mut NodeScope<'_>,
+    snapshot: &AnalysisSnapshot,
+    tile_size: i64,
+) -> IrResult<()> {
+    let node = scope.root();
+    let tile_size = tile_size.max(1);
+    let profile = match snapshot.get::<ComputeProfile>(node) {
+        Some(profile) => profile.clone(),
+        None => ComputeProfile::compute(scope.ctx(), node),
+    };
+    if let Some(tiles) = tile_sizes_for(&profile, tile_size) {
+        transforms::plan_tile_sizes(scope, node, &tiles)?;
+    }
+    Ok(())
+}
+
+/// Spills every inter-node buffer whose ping-pong footprint exceeds the
+/// threshold to external memory, adding a tile-sized local buffer to each node
+/// touching it (the "Tile Load / Tile Comp. / Tile Store" structure of
+/// Figure 3). Sequential by design: it inserts buffer ops into the schedule
+/// body and rewires node operands.
+pub fn spill_large_buffers(
+    ctx: &mut Context,
+    schedule: ScheduleOp,
+    tile_size: i64,
+    external_threshold_bytes: i64,
+) {
+    let tile_size = tile_size.max(1);
     let buffers = schedule.internal_buffers(ctx);
     for buffer in buffers {
         let bytes =

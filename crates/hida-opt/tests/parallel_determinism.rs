@@ -1,0 +1,211 @@
+//! Parallel pass execution must be invisible in the output: `--jobs 1` (the
+//! fully sequential escape hatch) and `--jobs 4` (work-stealing workers over a
+//! shared analysis snapshot) have to produce **byte-identical** IR and
+//! identical QoR on real workloads. The merge applies scoped edits in declared
+//! root order — never completion order — so this holds regardless of thread
+//! scheduling; these tests pin that contract on TwoMm and LeNet, and a 50×
+//! stress loop checks the recorded worker/steal counters stay internally
+//! consistent across repeated parallel runs.
+
+use hida_estimator::dataflow::DataflowEstimator;
+use hida_estimator::device::FpgaDevice;
+use hida_frontend::nn::{build_model, Model};
+use hida_frontend::polybench::{build_kernel, PolybenchKernel};
+use hida_ir_core::{Context, OpId, ParallelStats, PassStatistics};
+use hida_opt::{registry, HidaOptions, Pipeline};
+
+/// Runs the standard pipeline for `options` with the given job count and
+/// returns the printed module IR, the dataflow + sequential QoR estimates, and
+/// the per-pass statistics.
+fn compile(
+    build: impl Fn(&mut Context, OpId) -> OpId,
+    options: &HidaOptions,
+    jobs: usize,
+) -> (
+    String,
+    hida_estimator::report::DesignEstimate,
+    hida_estimator::report::DesignEstimate,
+    Vec<PassStatistics>,
+) {
+    let mut ctx = Context::new();
+    let module = ctx.create_module("m");
+    let func = build(&mut ctx, module);
+    let mut pipeline = Pipeline::from_options(options).with_jobs(jobs);
+    let schedule = pipeline.run(&mut ctx, func).unwrap();
+    hida_ir_core::verifier::verify(&ctx, module).unwrap();
+    let estimator = DataflowEstimator::new(options.device.clone()).with_jobs(jobs);
+    let dataflow = estimator.estimate_schedule(&ctx, schedule, true);
+    let sequential = estimator.estimate_schedule(&ctx, schedule, false);
+    (
+        hida_ir_core::printer::print_op(&ctx, module),
+        dataflow,
+        sequential,
+        pipeline.statistics().to_vec(),
+    )
+}
+
+fn assert_jobs_invariant(build: impl Fn(&mut Context, OpId) -> OpId + Copy, options: &HidaOptions) {
+    let (ir_1, df_1, seq_1, stats_1) = compile(build, options, 1);
+    let (ir_4, df_4, seq_4, stats_4) = compile(build, options, 4);
+    assert_eq!(
+        ir_1, ir_4,
+        "--jobs 1 and --jobs 4 IR must be byte-identical"
+    );
+    assert_eq!(df_1, df_4, "dataflow QoR must be identical");
+    assert_eq!(seq_1, seq_4, "sequential QoR must be identical");
+
+    // The sequential run records no parallel counters; the parallel run must
+    // record them for the per-node passes (tiling, parallelize).
+    assert!(stats_1.iter().all(|s| s.parallel.is_none()));
+    for pass in ["hida-tiling", "hida-parallelize"] {
+        let Some(stat) = stats_4.iter().find(|s| s.pass == pass) else {
+            continue; // pass not in this pipeline variant
+        };
+        let parallel = stat
+            .parallel
+            .as_ref()
+            .unwrap_or_else(|| panic!("{pass} must record parallel stats under --jobs 4"));
+        assert!(parallel.items > 0, "{pass} executed no parallel items");
+        assert!(parallel.workers >= 1 && parallel.workers <= 4);
+    }
+}
+
+#[test]
+fn twomm_schedule_and_qor_are_identical_across_jobs() {
+    assert_jobs_invariant(
+        |ctx, module| build_kernel(ctx, module, PolybenchKernel::TwoMm, 16),
+        &HidaOptions {
+            tile_size: Some(4),
+            ..HidaOptions::polybench()
+        },
+    );
+}
+
+#[test]
+fn lenet_schedule_and_qor_are_identical_across_jobs() {
+    assert_jobs_invariant(
+        |ctx, module| build_model(ctx, module, Model::LeNet),
+        &HidaOptions::dnn(),
+    );
+}
+
+#[test]
+fn naive_mode_single_wave_is_also_deterministic() {
+    // Without connection awareness the parallelizer runs as one wave; the
+    // merge order must still pin the result.
+    assert_jobs_invariant(
+        |ctx, module| build_kernel(ctx, module, PolybenchKernel::ThreeMm, 12),
+        &HidaOptions {
+            mode: hida_opt::ParallelMode::Naive,
+            enable_balancing: false,
+            ..HidaOptions::polybench()
+        },
+    );
+}
+
+#[test]
+fn profile_pass_parallel_warmup_feeds_later_passes() {
+    let mut ctx = Context::new();
+    let module = ctx.create_module("m");
+    let func = build_kernel(&mut ctx, module, PolybenchKernel::TwoMm, 16);
+    let mut pipeline = Pipeline::parse(
+        &registry(),
+        "construct,lower,profile,parallelize{max-factor=8,device=zu3eg}",
+    )
+    .unwrap()
+    .with_jobs(4);
+    pipeline.run(&mut ctx, func).unwrap();
+    let stats = pipeline.statistics().to_vec();
+    let profile = stats
+        .iter()
+        .find(|s| s.pass == "hida-profile-nodes")
+        .unwrap();
+    let parallel = profile.parallel.as_ref().expect("profile ran in parallel");
+    assert_eq!(parallel.items, 2, "one work item per TwoMm node");
+    // The published profiles must be consumed as cache traffic by the
+    // parallelizer's warm-up instead of being recomputed from scratch.
+    let parallelize = stats.iter().find(|s| s.pass == "hida-parallelize").unwrap();
+    assert!(
+        parallelize.cache.hits > 0,
+        "parallelize must hit the profiles the profile pass published: {:?}",
+        parallelize.cache
+    );
+}
+
+/// The loom-free stress test: 50 repetitions of the parallel tiling pass over
+/// fresh TwoMm schedules. Every iteration must produce the same IR as the
+/// first and internally consistent worker/steal counters.
+#[test]
+fn parallel_tiling_is_stable_over_fifty_runs() {
+    let options = HidaOptions {
+        tile_size: Some(4),
+        ..HidaOptions::polybench()
+    };
+    let mut reference_ir: Option<String> = None;
+    let mut totals = ParallelStats::default();
+    for round in 0..50 {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("m");
+        let func = build_kernel(&mut ctx, module, PolybenchKernel::TwoMm, 16);
+        let mut pipeline = Pipeline::from_options(&options).with_jobs(4);
+        pipeline.run(&mut ctx, func).unwrap();
+        let ir = hida_ir_core::printer::print_op(&ctx, module);
+        match &reference_ir {
+            None => reference_ir = Some(ir),
+            Some(reference) => assert_eq!(reference, &ir, "round {round} diverged"),
+        }
+        let tiling = pipeline
+            .statistics()
+            .iter()
+            .find(|s| s.pass == "hida-tiling")
+            .unwrap();
+        let parallel = tiling
+            .parallel
+            .as_ref()
+            .unwrap_or_else(|| panic!("round {round}: tiling must record parallel stats"));
+        // Stats invariants: every node is exactly one work item, the worker
+        // count respects --jobs, and the per-worker extremes bound the total.
+        assert_eq!(parallel.items, 2, "round {round}: one item per TwoMm node");
+        assert!(
+            parallel.workers >= 1 && parallel.workers <= 4,
+            "round {round}"
+        );
+        assert!(
+            parallel.max_worker_items >= parallel.min_worker_items,
+            "round {round}"
+        );
+        assert!(parallel.max_worker_items <= parallel.items, "round {round}");
+        assert!(
+            parallel.steals <= parallel.items,
+            "round {round}: cannot steal more items than exist"
+        );
+        totals.accumulate(parallel);
+    }
+    assert_eq!(totals.items, 100, "50 rounds x 2 nodes");
+}
+
+/// The estimator's parallel per-node half must not change any estimate and
+/// must record its batch counters.
+#[test]
+fn estimator_jobs_do_not_change_estimates() {
+    let mut ctx = Context::new();
+    let module = ctx.create_module("m");
+    let func = build_model(&mut ctx, module, Model::LeNet);
+    let mut pipeline = Pipeline::from_options(&HidaOptions::dnn());
+    let schedule = pipeline.run(&mut ctx, func).unwrap();
+
+    let sequential = DataflowEstimator::new(FpgaDevice::vu9p_slr());
+    let parallel = DataflowEstimator::new(FpgaDevice::vu9p_slr()).with_jobs(4);
+    assert_eq!(parallel.jobs(), 4);
+    let df_seq = sequential.estimate_schedule(&ctx, schedule, true);
+    let df_par = parallel.estimate_schedule(&ctx, schedule, true);
+    assert_eq!(df_seq, df_par);
+    let stats = parallel.parallel_stats();
+    assert!(stats.items > 0, "LeNet estimation must fan out per node");
+    assert_eq!(stats.items, schedule.nodes(&ctx).len() as u64);
+    // Sequential estimators never touch the pool.
+    assert_eq!(sequential.parallel_stats(), ParallelStats::default());
+    // Repeating the parallel estimate is served from the cache: no new batch.
+    parallel.estimate_schedule(&ctx, schedule, false);
+    assert_eq!(parallel.parallel_stats(), stats);
+}

@@ -21,7 +21,7 @@ fn bad_pass_name_reports_the_registered_passes() {
     match &err {
         PipelineError::UnknownPass { name, known } => {
             assert_eq!(name, "lowerr");
-            assert_eq!(known.len(), 7);
+            assert_eq!(known.len(), 8);
             assert!(known.contains(&"lower".to_string()));
         }
         other => panic!("expected UnknownPass, got {other}"),

@@ -24,14 +24,16 @@ use crate::ids::OpId;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A cacheable analysis over the IR rooted at one operation.
 ///
 /// Implementations live next to the data they analyze (dialect crates implement
 /// it for their result types); the manager only needs a way to (re)compute the
 /// value and to compare it against a recomputation for the debug-mode
-/// preservation check.
-pub trait Analysis: Any + Send + Clone + PartialEq {
+/// preservation check. The `Sync` bound is what lets an [`AnalysisSnapshot`]
+/// share cached results with worker threads during parallel pass execution.
+pub trait Analysis: Any + Send + Sync + Clone + PartialEq {
     /// Stable human-readable analysis name used in diagnostics.
     const NAME: &'static str;
 
@@ -135,6 +137,9 @@ impl PreservedAnalyses {
 /// against the cached value; `false` means a preservation declaration lied.
 type ConsistencyCheck = fn(&Context, OpId, &dyn Any) -> bool;
 
+/// Clones a type-erased cache entry into an `Arc` for a snapshot.
+type ShareFn = fn(&(dyn Any + Send + Sync)) -> Arc<dyn Any + Send + Sync>;
+
 fn check_entry<A: Analysis>(ctx: &Context, root: OpId, cached: &dyn Any) -> bool {
     cached
         .downcast_ref::<A>()
@@ -142,8 +147,45 @@ fn check_entry<A: Analysis>(ctx: &Context, root: OpId, cached: &dyn Any) -> bool
         .unwrap_or(false)
 }
 
+fn share_entry<A: Any + Send + Sync + Clone>(
+    cached: &(dyn Any + Send + Sync),
+) -> Arc<dyn Any + Send + Sync> {
+    Arc::new(
+        cached
+            .downcast_ref::<A>()
+            .expect("analysis cache entry has its recorded type")
+            .clone(),
+    )
+}
+
+/// The per-type metadata a cache entry is created with: diagnostic name, the
+/// optional debug-mode consistency check, and the snapshot clone function.
+struct EntrySpec {
+    name: &'static str,
+    check: Option<ConsistencyCheck>,
+    share: ShareFn,
+}
+
+impl EntrySpec {
+    fn of<A: Analysis>() -> Self {
+        EntrySpec {
+            name: A::NAME,
+            check: Some(check_entry::<A>),
+            share: share_entry::<A>,
+        }
+    }
+
+    fn unchecked<A: Any + Send + Sync + Clone>(name: &'static str) -> Self {
+        EntrySpec {
+            name,
+            check: None,
+            share: share_entry::<A>,
+        }
+    }
+}
+
 struct CacheEntry {
-    value: Box<dyn Any + Send>,
+    value: Box<dyn Any + Send + Sync>,
     /// [`Context::id`] of the context the entry was computed against, so one
     /// manager can never serve results across unrelated contexts.
     ctx_id: u64,
@@ -152,10 +194,104 @@ struct CacheEntry {
     analysis: &'static str,
     /// Debug-mode recompute-and-compare; absent for closure-computed entries.
     check: Option<ConsistencyCheck>,
+    /// Clones the value into an `Arc` for [`AnalysisSnapshot`]s.
+    share: ShareFn,
+}
+
+/// A frozen, `Sync` view of every analysis that was valid at one
+/// [`Context::generation`]: worker threads read structural facts (compute
+/// profiles, dataflow graphs) from the snapshot instead of re-walking the IR
+/// or contending on the mutable [`AnalysisManager`].
+///
+/// The snapshot owns clones of the cached values (behind `Arc`s), so it stays
+/// coherent even while the pass that took it mutates the IR and invalidates
+/// the live cache. Staleness is therefore the *taker's* contract: a snapshot
+/// is meant to live for one parallel batch, between two merges.
+pub struct AnalysisSnapshot {
+    entries: HashMap<(TypeId, OpId), Arc<dyn Any + Send + Sync>>,
+    ctx_id: u64,
+    generation: u64,
+}
+
+impl AnalysisSnapshot {
+    /// The cached `A` for `root` at freeze time, if one was valid then.
+    pub fn get<A: Analysis>(&self, root: OpId) -> Option<&A> {
+        self.get_any::<A>(root)
+    }
+
+    /// Like [`AnalysisSnapshot::get`] but for closure-computed entries
+    /// ([`AnalysisManager::get_with`]) that do not implement [`Analysis`].
+    pub fn get_any<A: Any + Send + Sync>(&self, root: OpId) -> Option<&A> {
+        self.entries
+            .get(&(TypeId::of::<A>(), root))
+            .and_then(|value| value.as_ref().downcast_ref::<A>())
+    }
+
+    /// The [`Context::id`] the snapshot was taken against.
+    pub fn context_id(&self) -> u64 {
+        self.ctx_id
+    }
+
+    /// The [`Context::generation`] the snapshot was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of frozen entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was frozen.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Debug for AnalysisSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisSnapshot")
+            .field("entries", &self.entries.len())
+            .field("generation", &self.generation)
+            .finish()
+    }
 }
 
 /// Typed analysis cache with generation-based invalidation; owned by the
 /// [`PassManager`](crate::pass::PassManager) and threaded through every pass.
+///
+/// # Example
+///
+/// ```
+/// use hida_ir_core::{Analysis, AnalysisManager, Context, OpBuilder, OpId};
+///
+/// /// Number of ops directly inside the root's body.
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct OpCount(usize);
+///
+/// impl Analysis for OpCount {
+///     const NAME: &'static str = "op-count";
+///     fn compute(ctx: &Context, root: OpId) -> Self {
+///         OpCount(ctx.body_ops(root).len())
+///     }
+/// }
+///
+/// let mut ctx = Context::new();
+/// let module = ctx.create_module("m");
+/// OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![], vec![]);
+///
+/// let mut analyses = AnalysisManager::new();
+/// // The first query computes; the second is served from the cache.
+/// assert_eq!(analyses.get::<OpCount>(&ctx, module), OpCount(1));
+/// assert_eq!(analyses.get::<OpCount>(&ctx, module), OpCount(1));
+/// assert_eq!(analyses.stats().hits, 1);
+///
+/// // Mutations bump the context generation; the stale entry is recomputed
+/// // lazily on the next query.
+/// OpBuilder::at_end_of(&mut ctx, module).create_func("g", vec![], vec![]);
+/// assert!(analyses.cached::<OpCount>(&ctx, module).is_none());
+/// assert_eq!(analyses.get::<OpCount>(&ctx, module), OpCount(2));
+/// ```
 pub struct AnalysisManager {
     entries: HashMap<(TypeId, OpId), CacheEntry>,
     /// Scope of the currently running pass, when one is active.
@@ -218,8 +354,7 @@ impl AnalysisManager {
             ctx,
             root,
             TypeId::of::<A>(),
-            A::NAME,
-            Some(check_entry::<A>),
+            EntrySpec::of::<A>(),
             |c, r| Box::new(A::compute(c, r)),
         )
         .downcast_ref::<A>()
@@ -231,30 +366,73 @@ impl AnalysisManager {
     /// function, for analyses parameterized by external state (e.g. a target
     /// device). Entries are still keyed by `(type, root)` and invalidated by
     /// generation, but skip the debug-mode recomputation check.
-    pub fn get_with<A: Any + Send + Clone>(
+    pub fn get_with<A: Any + Send + Sync + Clone>(
         &mut self,
         ctx: &Context,
         root: OpId,
         name: &'static str,
         compute: impl FnOnce(&Context, OpId) -> A,
     ) -> A {
-        self.query(ctx, root, TypeId::of::<A>(), name, None, |c, r| {
-            Box::new(compute(c, r))
-        })
+        self.query(
+            ctx,
+            root,
+            TypeId::of::<A>(),
+            EntrySpec::unchecked::<A>(name),
+            |c, r| Box::new(compute(c, r)),
+        )
         .downcast_ref::<A>()
         .expect("analysis cache entry has the queried type")
         .clone()
     }
 
+    /// Installs an externally computed `A` for `root`, e.g. a result a worker
+    /// thread produced over an [`AnalysisSnapshot`] during parallel pass
+    /// execution. Counts like a regular computing query (a miss, plus an
+    /// invalidation when it replaces a stale entry); when a *valid* entry
+    /// already exists it is kept and the install counts as a hit.
+    pub fn install<A: Analysis>(&mut self, ctx: &Context, root: OpId, value: A) {
+        self.query(
+            ctx,
+            root,
+            TypeId::of::<A>(),
+            EntrySpec::of::<A>(),
+            move |_, _| Box::new(value),
+        );
+    }
+
     /// Returns the cached `A` for `root` when present *and* still valid,
     /// without computing anything.
     pub fn cached<A: Analysis>(&self, ctx: &Context, root: OpId) -> Option<&A> {
+        self.cached_any::<A>(ctx, root)
+    }
+
+    /// Like [`AnalysisManager::cached`] but for closure-computed entries
+    /// ([`AnalysisManager::get_with`]) that do not implement [`Analysis`].
+    pub fn cached_any<A: Any + Send + Sync>(&self, ctx: &Context, root: OpId) -> Option<&A> {
         let key = (TypeId::of::<A>(), root);
         let entry = self.entries.get(&key)?;
         if !self.entry_valid(key.0, root, entry, ctx) {
             return None;
         }
         entry.value.downcast_ref::<A>()
+    }
+
+    /// Freezes every entry that is valid for `ctx` right now (including the
+    /// ones kept alive by the active pass scope's preservation declaration)
+    /// into a `Sync` [`AnalysisSnapshot`] for read-only sharing with worker
+    /// threads.
+    pub fn snapshot(&self, ctx: &Context) -> AnalysisSnapshot {
+        let mut entries: HashMap<(TypeId, OpId), Arc<dyn Any + Send + Sync>> = HashMap::new();
+        for (&(type_id, root), entry) in &self.entries {
+            if self.entry_valid(type_id, root, entry, ctx) {
+                entries.insert((type_id, root), (entry.share)(entry.value.as_ref()));
+            }
+        }
+        AnalysisSnapshot {
+            entries,
+            ctx_id: ctx.id(),
+            generation: ctx.generation(),
+        }
     }
 
     /// Silently drops entries belonging to any context other than `ctx`: they
@@ -424,9 +602,8 @@ impl AnalysisManager {
         ctx: &Context,
         root: OpId,
         type_id: TypeId,
-        name: &'static str,
-        check: Option<ConsistencyCheck>,
-        compute: impl FnOnce(&Context, OpId) -> Box<dyn Any + Send>,
+        spec: EntrySpec,
+        compute: impl FnOnce(&Context, OpId) -> Box<dyn Any + Send + Sync>,
     ) -> &dyn Any {
         let key = (type_id, root);
         let valid = self
@@ -452,8 +629,9 @@ impl AnalysisManager {
                 value,
                 ctx_id: ctx.id(),
                 generation: ctx.generation(),
-                analysis: name,
-                check,
+                analysis: spec.name,
+                check: spec.check,
+                share: spec.share,
             },
         );
         self.entries[&key].value.as_ref()
@@ -645,6 +823,87 @@ mod tests {
             .preserve::<ConstantCount>();
         assert!(some.preserves::<ConstantCount>());
         assert_eq!(some.names(), vec!["constant-count"]);
+    }
+
+    #[test]
+    fn snapshots_freeze_only_valid_entries_and_are_sync() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 3);
+        let func = ctx.find_in_body(module, "func.func").unwrap();
+        let mut am = AnalysisManager::new();
+        am.get::<ConstantCount>(&ctx, module);
+        am.get::<ConstantCount>(&ctx, func);
+
+        let snapshot = am.snapshot(&ctx);
+        assert_sync(&snapshot);
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot.generation(), ctx.generation());
+        assert_eq!(snapshot.context_id(), ctx.id());
+        assert_eq!(
+            snapshot.get::<ConstantCount>(module),
+            Some(&ConstantCount(3))
+        );
+
+        // Mutate: a freshly taken snapshot drops the stale entries, while the
+        // old snapshot still serves its frozen (pre-mutation) values.
+        let consts = ctx.collect_ops(module, "arith.constant");
+        ctx.erase_op(consts[0]);
+        let stale = am.snapshot(&ctx);
+        assert!(stale.is_empty());
+        assert_eq!(
+            snapshot.get::<ConstantCount>(module),
+            Some(&ConstantCount(3))
+        );
+    }
+
+    #[test]
+    fn snapshots_respect_the_active_preservation_scope() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 2);
+        let mut am = AnalysisManager::new();
+        am.get::<ConstantCount>(&ctx, module);
+        am.begin_pass(
+            &ctx,
+            "annotate",
+            PreservedAnalyses::none().preserve::<ConstantCount>(),
+        );
+        // The pass mutates (attribute-only), bumping the generation; the
+        // preserved entry must still be frozen into the snapshot.
+        let func = ctx.find_in_body(module, "func.func").unwrap();
+        ctx.op_mut(func).set_attr("annotated", 1_i64);
+        let snapshot = am.snapshot(&ctx);
+        assert_eq!(
+            snapshot.get::<ConstantCount>(module),
+            Some(&ConstantCount(2))
+        );
+        am.end_pass(&ctx);
+    }
+
+    #[test]
+    fn install_adds_entries_and_keeps_valid_ones() {
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 2);
+        let mut am = AnalysisManager::new();
+        // Installing where nothing is cached counts as a computed result.
+        am.install(&ctx, module, ConstantCount(2));
+        assert_eq!(am.stats().misses, 1);
+        assert_eq!(
+            am.cached::<ConstantCount>(&ctx, module),
+            Some(&ConstantCount(2))
+        );
+        // Installing over a valid entry keeps it and counts a hit.
+        am.install(&ctx, module, ConstantCount(99));
+        assert_eq!(am.stats().hits, 1);
+        assert_eq!(
+            am.cached::<ConstantCount>(&ctx, module),
+            Some(&ConstantCount(2))
+        );
+        // cached_any sees the same entry without the Analysis bound.
+        assert_eq!(
+            am.cached_any::<ConstantCount>(&ctx, module),
+            Some(&ConstantCount(2))
+        );
     }
 
     #[test]

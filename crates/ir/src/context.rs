@@ -654,6 +654,21 @@ impl Context {
         (id, results)
     }
 
+    /// Applies a batch of recorded attribute edits (the merge step of parallel
+    /// per-node pass execution, see [`crate::par`]) with a **single** generation
+    /// bump: the whole merge is one logical mutation, so analyses preserved
+    /// across it stay one integer comparison away from validity.
+    pub fn apply_attr_edits(&mut self, edits: impl IntoIterator<Item = crate::par::AttrEdit>) {
+        let mut bumped = false;
+        for edit in edits {
+            if !bumped {
+                self.bump_generation();
+                bumped = true;
+            }
+            self.ops[edit.op.index()].set_attr(edit.key, edit.value);
+        }
+    }
+
     /// Validates that the entity ids stored in the context are internally consistent;
     /// used by tests and the verifier.
     pub fn check_parent_links(&self) -> IrResult<()> {

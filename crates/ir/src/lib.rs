@@ -10,11 +10,15 @@
 //! * a structural [`Type`] system (integers, floats, index, tensor, memref, stream),
 //! * named [`Attribute`]s with compile-time-known values,
 //! * an [`OpBuilder`] with insertion points,
-//! * a textual [printer](printer), a structural [verifier](verifier),
+//! * a textual [printer], a structural [verifier],
 //! * pre/post-order [walkers](walk), use-def chains and replace-all-uses,
 //! * a [pattern rewriting](rewrite) driver and a [pass manager](pass),
 //! * a cached [analysis manager](analysis) with generation-based invalidation
-//!   and per-pass preservation declarations.
+//!   and per-pass preservation declarations,
+//! * a [parallel execution layer](par): a std-only work-stealing pool, scoped
+//!   per-node mutation recording, and `Sync` [analysis
+//!   snapshots](analysis::AnalysisSnapshot) that let passes run independent
+//!   per-node work on worker threads with deterministic merges.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@ pub mod entities;
 pub mod error;
 pub mod ids;
 pub mod operation;
+pub mod par;
 pub mod parse;
 pub mod pass;
 pub mod printer;
@@ -47,7 +52,9 @@ pub mod types;
 pub mod verifier;
 pub mod walk;
 
-pub use analysis::{Analysis, AnalysisCacheStats, AnalysisManager, PreservedAnalyses};
+pub use analysis::{
+    Analysis, AnalysisCacheStats, AnalysisManager, AnalysisSnapshot, PreservedAnalyses,
+};
 pub use attributes::Attribute;
 pub use builder::OpBuilder;
 pub use context::Context;
@@ -55,6 +62,7 @@ pub use entities::{Block, Region, Value, ValueDef};
 pub use error::{IrError, IrResult};
 pub use ids::{BlockId, OpId, RegionId, ValueId};
 pub use operation::{OpName, Operation};
+pub use par::{default_jobs, AttrEdit, NodeScope, ParallelStats};
 pub use parse::{parse_pipeline, print_pipeline, PassInvocation, PipelineParseError};
 pub use pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
 pub use registry::{OptionSpec, PassRegistry, PassSpec, PipelineError};

@@ -10,10 +10,11 @@
 //! (e.g. a `ScheduleOp`) and every later pass retrieves it by type, which keeps the
 //! `Pass` trait itself independent of any particular dialect crate.
 
-use crate::analysis::{AnalysisCacheStats, AnalysisManager, PreservedAnalyses};
+use crate::analysis::{AnalysisCacheStats, AnalysisManager, AnalysisSnapshot, PreservedAnalyses};
 use crate::context::Context;
 use crate::error::{IrError, IrResult};
 use crate::ids::OpId;
+use crate::par::{run_batch, NodeScope, ParallelStats};
 use crate::verifier::verify;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -117,7 +118,11 @@ impl fmt::Display for PassOption {
 }
 
 /// A transformation or analysis applied to the IR rooted at a module op.
-pub trait Pass {
+///
+/// Passes are `Send + Sync` so the [`PassManager`] can share one instance with
+/// the worker threads that execute its declared per-node work items (see
+/// [`Pass::parallelizable_roots`]).
+pub trait Pass: Send + Sync {
     /// Unique, human-readable pass name (e.g. `"hida-task-fusion"`).
     fn name(&self) -> &str;
 
@@ -155,6 +160,68 @@ pub trait Pass {
         state: &mut PipelineState,
         analyses: &mut AnalysisManager,
     ) -> IrResult<()>;
+
+    /// Declares the independent per-node work items of this pass, as *waves*
+    /// of mutually independent roots: every root of a wave is handed to
+    /// [`Pass::run_on_root`] on a worker thread, all of a wave's results merge
+    /// back before the next wave starts, and [`Pass::finish_parallel`] runs
+    /// once at the end. Most parallelizable passes return a single wave;
+    /// passes whose per-node decisions depend on earlier nodes' decisions
+    /// (e.g. connection-aware parallelization) return one wave per dependency
+    /// level.
+    ///
+    /// Returning `None` (the default) keeps the pass sequential —
+    /// [`Pass::run`] executes as usual. The pass manager only consults this
+    /// hook when its configured job count is greater than one, so
+    /// `--jobs 1` always takes the sequential path; a parallelizable pass must
+    /// therefore produce **identical IR** through both paths. This hook may
+    /// warm `analyses` so the snapshot handed to the workers is complete.
+    fn parallelizable_roots(
+        &self,
+        ctx: &Context,
+        root: OpId,
+        state: &PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> Option<Vec<Vec<OpId>>> {
+        let _ = (ctx, root, state, analyses);
+        None
+    }
+
+    /// Processes one declared root on a worker thread. The IR is shared
+    /// read-only through the scope; every mutation is recorded as a scoped
+    /// attribute edit (rejected when it escapes the root's subtree) and
+    /// applied on the main thread with a single generation bump per wave.
+    /// Structural facts come from the frozen `snapshot` instead of the live
+    /// analysis manager.
+    ///
+    /// # Errors
+    /// A failing root aborts the pass (and the pipeline), discarding the whole
+    /// wave's edits.
+    fn run_on_root(&self, scope: &mut NodeScope<'_>, snapshot: &AnalysisSnapshot) -> IrResult<()> {
+        let _ = (scope, snapshot);
+        Err(IrError::pass_failed(
+            self.name(),
+            "pass declared parallelizable roots but does not implement run_on_root",
+        ))
+    }
+
+    /// Sequential epilogue after all waves merged: work that genuinely needs
+    /// `&mut Context` across node boundaries (e.g. tiling's buffer spilling,
+    /// parallelization's array partitioning) lives here. Runs on the main
+    /// thread with the same signature as [`Pass::run`].
+    ///
+    /// # Errors
+    /// Propagated exactly like a [`Pass::run`] failure.
+    fn finish_parallel(
+        &self,
+        ctx: &mut Context,
+        root: OpId,
+        state: &mut PipelineState,
+        analyses: &mut AnalysisManager,
+    ) -> IrResult<()> {
+        let _ = (ctx, root, state, analyses);
+        Ok(())
+    }
 }
 
 /// Timing and size statistics recorded for each executed pass.
@@ -175,6 +242,9 @@ pub struct PassStatistics {
     pub failed: bool,
     /// Analysis cache traffic attributed to this pass.
     pub cache: AnalysisCacheStats,
+    /// Worker/steal/imbalance counters when the pass executed its declared
+    /// roots on the thread pool; `None` for sequential execution.
+    pub parallel: Option<ParallelStats>,
     /// The pass instance's configured options.
     pub options: Vec<PassOption>,
 }
@@ -210,6 +280,9 @@ impl fmt::Display for PassStatistics {
         if self.cache.total_queries() > 0 || self.cache.preserved > 0 {
             write!(f, ", analyses {}", self.cache)?;
         }
+        if let Some(parallel) = &self.parallel {
+            write!(f, ", parallel {parallel}")?;
+        }
         if !self.options.is_empty() {
             let rendered: Vec<String> = self.options.iter().map(|o| o.to_string()).collect();
             write!(f, " [{}]", rendered.join(", "))?;
@@ -229,6 +302,7 @@ pub struct PassManager {
     verify_each: bool,
     statistics: Vec<PassStatistics>,
     analyses: AnalysisManager,
+    jobs: usize,
 }
 
 impl Default for PassManager {
@@ -238,13 +312,15 @@ impl Default for PassManager {
 }
 
 impl PassManager {
-    /// Creates an empty pass manager with inter-pass verification enabled.
+    /// Creates an empty pass manager with inter-pass verification enabled and
+    /// sequential execution (one job).
     pub fn new() -> Self {
         PassManager {
             passes: Vec::new(),
             verify_each: true,
             statistics: Vec::new(),
             analyses: AnalysisManager::new(),
+            jobs: 1,
         }
     }
 
@@ -252,6 +328,20 @@ impl PassManager {
     pub fn with_verification(mut self, verify_each: bool) -> Self {
         self.verify_each = verify_each;
         self
+    }
+
+    /// Sets the worker-thread count for passes that declare
+    /// [`Pass::parallelizable_roots`]. `1` (the default) is the
+    /// bitwise-reproducibility escape hatch: every pass runs its sequential
+    /// [`Pass::run`] path on the calling thread.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Appends a pass to the pipeline.
@@ -324,7 +414,33 @@ impl PassManager {
             self.analyses
                 .begin_pass(ctx, &name, pass.preserved_analyses());
             let start = Instant::now();
-            let result = pass.run(ctx, root, state, &mut self.analyses).map_err(|e| {
+            // With more than one job, a pass that declares independent
+            // per-node roots executes them on the work-stealing pool;
+            // everything else (and everything under --jobs 1) takes the
+            // sequential path.
+            let waves = if self.jobs > 1 {
+                pass.parallelizable_roots(ctx, root, state, &mut self.analyses)
+            } else {
+                None
+            };
+            let (result, parallel) = match waves {
+                Some(waves) => {
+                    match run_parallel_waves(
+                        pass.as_ref(),
+                        ctx,
+                        root,
+                        state,
+                        &mut self.analyses,
+                        self.jobs,
+                        waves,
+                    ) {
+                        Ok(stats) => (Ok(()), Some(stats)),
+                        Err(e) => (Err(e), None),
+                    }
+                }
+                None => (pass.run(ctx, root, state, &mut self.analyses), None),
+            };
+            let result = result.map_err(|e| {
                 match e {
                     // Don't re-wrap errors the pass already attributed to itself.
                     IrError::PassFailed { pass: ref p, .. } if p == &name => e,
@@ -342,6 +458,7 @@ impl PassManager {
                 verified,
                 failed,
                 cache,
+                parallel: parallel.clone(),
                 options: options.clone(),
             };
             if let Err(error) = result {
@@ -368,6 +485,68 @@ impl PassManager {
         }
         Ok(())
     }
+}
+
+/// Executes a pass's declared root waves on the work-stealing pool.
+///
+/// Per wave: freeze the analysis cache into a snapshot, run every root through
+/// [`Pass::run_on_root`] on the workers, then merge deterministically on the
+/// main thread — scoped attribute edits are applied **in declared root order**
+/// with one generation bump, and published analyses are installed afterwards.
+/// Because the merge order is the declaration order (never the completion
+/// order), the resulting IR is independent of thread scheduling, which is what
+/// makes `--jobs 1` and `--jobs N` byte-identical.
+fn run_parallel_waves(
+    pass: &dyn Pass,
+    ctx: &mut Context,
+    root: OpId,
+    state: &mut PipelineState,
+    analyses: &mut AnalysisManager,
+    jobs: usize,
+    waves: Vec<Vec<OpId>>,
+) -> IrResult<ParallelStats> {
+    let mut totals = ParallelStats::default();
+    for wave in waves {
+        if wave.is_empty() {
+            continue;
+        }
+        debug_assert!(
+            {
+                let mut sorted = wave.clone();
+                sorted.sort();
+                sorted.dedup();
+                sorted.len() == wave.len()
+            },
+            "declared roots within a wave must be distinct"
+        );
+        let snapshot = analyses.snapshot(ctx);
+        let shared: &Context = ctx;
+        let (results, stats) = run_batch(jobs, &wave, |&node| {
+            let mut scope = NodeScope::new(shared, node);
+            pass.run_on_root(&mut scope, &snapshot)
+                .map(|()| scope.into_parts())
+        });
+        totals.accumulate(&stats);
+        let mut edits = Vec::new();
+        let mut published = Vec::new();
+        for result in results {
+            let (node_edits, node_published) = result?;
+            edits.extend(node_edits);
+            published.extend(node_published);
+        }
+        // Published analyses were computed against the *pre-merge* IR, so they
+        // install before the edits apply — their generation stamp then matches
+        // their computation basis. They survive the subsequent bump only when
+        // the pass's preservation declaration covers them (and the debug-mode
+        // lie detector re-verifies that at pass exit); publishing a value the
+        // wave's own edits change is a preservation lie, not a cache update.
+        for publish in published {
+            publish(analyses, ctx);
+        }
+        ctx.apply_attr_edits(edits);
+    }
+    pass.finish_parallel(ctx, root, state, analyses)?;
+    Ok(totals)
 }
 
 #[cfg(test)]
@@ -567,6 +746,13 @@ mod tests {
                 invalidations: 0,
                 preserved: 2,
             },
+            parallel: Some(ParallelStats {
+                workers: 4,
+                items: 6,
+                steals: 1,
+                max_worker_items: 2,
+                min_worker_items: 1,
+            }),
             options: vec![PassOption::new("tile-size", 8)],
         };
         let rendered = stats.to_string();
@@ -574,6 +760,7 @@ mod tests {
         assert!(rendered.contains("10 -> 14 (+4)"));
         assert!(rendered.contains("tile-size=8"));
         assert!(rendered.contains("3 hit / 1 miss"));
+        assert!(rendered.contains("parallel 4 workers / 6 items / 1 steals"));
         assert!(!rendered.contains("FAILED"));
         assert_eq!(stats.op_delta(), 4);
     }
@@ -686,6 +873,210 @@ mod tests {
         assert_eq!(stats[1].cache.invalidations, 1);
         assert_eq!(stats[2].cache.misses, 1);
         assert_eq!(stats[2].cache.hits, 0);
+    }
+
+    /// A parallelizable test pass: annotates every `func.func` below the root
+    /// with its body-op count. The sequential and per-root paths are written
+    /// independently (as real passes do it) and must agree.
+    struct AnnotateFuncsPass;
+
+    impl AnnotateFuncsPass {
+        fn funcs(ctx: &Context, root: OpId) -> Vec<OpId> {
+            ctx.collect_ops(root, "func.func")
+        }
+    }
+
+    impl Pass for AnnotateFuncsPass {
+        fn name(&self) -> &str {
+            "annotate-funcs"
+        }
+        fn verify_after(&self) -> bool {
+            false
+        }
+        fn run(
+            &self,
+            ctx: &mut Context,
+            root: OpId,
+            _state: &mut PipelineState,
+            _analyses: &mut AnalysisManager,
+        ) -> IrResult<()> {
+            for func in Self::funcs(ctx, root) {
+                let n = ctx.body_ops(func).len() as i64;
+                ctx.op_mut(func).set_attr("body_ops", n);
+            }
+            Ok(())
+        }
+        fn parallelizable_roots(
+            &self,
+            ctx: &Context,
+            root: OpId,
+            _state: &PipelineState,
+            _analyses: &mut AnalysisManager,
+        ) -> Option<Vec<Vec<OpId>>> {
+            Some(vec![Self::funcs(ctx, root)])
+        }
+        fn run_on_root(
+            &self,
+            scope: &mut NodeScope<'_>,
+            _snapshot: &AnalysisSnapshot,
+        ) -> IrResult<()> {
+            let func = scope.root();
+            let n = scope.ctx().body_ops(func).len() as i64;
+            scope.set_attr(func, "body_ops", n)
+        }
+    }
+
+    fn module_with_funcs(ctx: &mut Context, funcs: usize) -> OpId {
+        let module = ctx.create_module("m");
+        for i in 0..funcs {
+            let func =
+                OpBuilder::at_end_of(ctx, module).create_func(&format!("f{i}"), vec![], vec![]);
+            let mut b = OpBuilder::at_end_of(ctx, func);
+            for k in 0..=i {
+                b.create_constant_int(k as i64, Type::i32());
+            }
+        }
+        module
+    }
+
+    #[test]
+    fn parallel_roots_produce_identical_ir_to_sequential_run() {
+        let run_with_jobs = |jobs: usize| -> (String, Option<ParallelStats>) {
+            let mut ctx = Context::new();
+            let module = module_with_funcs(&mut ctx, 8);
+            let mut pm = PassManager::new().with_jobs(jobs);
+            assert_eq!(pm.jobs(), jobs);
+            pm.add_pass(Box::new(AnnotateFuncsPass));
+            pm.run(&mut ctx, module).unwrap();
+            let parallel = pm.statistics()[0].parallel.clone();
+            (crate::printer::print_op(&ctx, module), parallel)
+        };
+        let (sequential_ir, sequential_stats) = run_with_jobs(1);
+        let (parallel_ir, parallel_stats) = run_with_jobs(4);
+        assert_eq!(sequential_ir, parallel_ir);
+        // --jobs 1 takes the sequential path and records no parallel stats.
+        assert!(sequential_stats.is_none());
+        let stats = parallel_stats.expect("parallel execution records stats");
+        assert_eq!(stats.items, 8);
+        assert!(stats.workers > 1 && stats.workers <= 4);
+        assert!(stats.max_worker_items >= stats.min_worker_items);
+    }
+
+    #[test]
+    fn failing_worker_aborts_the_pass_and_discards_the_wave() {
+        /// Fails on every func with an odd body size; even funcs record edits
+        /// that must be discarded because the wave aborts.
+        struct FailOddPass;
+        impl Pass for FailOddPass {
+            fn name(&self) -> &str {
+                "fail-odd"
+            }
+            fn run(
+                &self,
+                _ctx: &mut Context,
+                _root: OpId,
+                _state: &mut PipelineState,
+                _analyses: &mut AnalysisManager,
+            ) -> IrResult<()> {
+                unreachable!("parallel path is taken under jobs > 1")
+            }
+            fn parallelizable_roots(
+                &self,
+                ctx: &Context,
+                root: OpId,
+                _state: &PipelineState,
+                _analyses: &mut AnalysisManager,
+            ) -> Option<Vec<Vec<OpId>>> {
+                Some(vec![ctx.collect_ops(root, "func.func")])
+            }
+            fn run_on_root(
+                &self,
+                scope: &mut NodeScope<'_>,
+                _snapshot: &AnalysisSnapshot,
+            ) -> IrResult<()> {
+                let func = scope.root();
+                if scope.ctx().body_ops(func).len() % 2 == 1 {
+                    return Err(IrError::verification("odd func"));
+                }
+                scope.set_attr(func, "even", 1_i64)
+            }
+        }
+        let mut ctx = Context::new();
+        let module = module_with_funcs(&mut ctx, 4);
+        let mut pm = PassManager::new().with_jobs(4);
+        pm.add_pass(Box::new(FailOddPass));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        assert!(err.to_string().contains("fail-odd"));
+        assert!(pm.statistics().last().unwrap().failed);
+        // No edit of the aborted wave reached the IR.
+        for func in ctx.collect_ops(module, "func.func") {
+            assert_eq!(ctx.op(func).attr_int("even"), None);
+        }
+    }
+
+    #[test]
+    fn workers_read_the_snapshot_and_publish_computed_analyses() {
+        /// Reads `ConstantCount` from the snapshot when present, computes and
+        /// publishes it otherwise.
+        struct SnapshotCountPass;
+        impl Pass for SnapshotCountPass {
+            fn name(&self) -> &str {
+                "snapshot-count"
+            }
+            fn verify_after(&self) -> bool {
+                false
+            }
+            fn preserved_analyses(&self) -> PreservedAnalyses {
+                PreservedAnalyses::all()
+            }
+            fn run(
+                &self,
+                _ctx: &mut Context,
+                _root: OpId,
+                _state: &mut PipelineState,
+                _analyses: &mut AnalysisManager,
+            ) -> IrResult<()> {
+                Ok(())
+            }
+            fn parallelizable_roots(
+                &self,
+                ctx: &Context,
+                root: OpId,
+                _state: &PipelineState,
+                _analyses: &mut AnalysisManager,
+            ) -> Option<Vec<Vec<OpId>>> {
+                Some(vec![ctx.collect_ops(root, "func.func")])
+            }
+            fn run_on_root(
+                &self,
+                scope: &mut NodeScope<'_>,
+                snapshot: &AnalysisSnapshot,
+            ) -> IrResult<()> {
+                let func = scope.root();
+                if snapshot.get::<ConstantCount>(func).is_none() {
+                    let computed = ConstantCount::compute(scope.ctx(), func);
+                    scope.publish(func, computed)?;
+                }
+                Ok(())
+            }
+        }
+        use crate::analysis::Analysis;
+        let mut ctx = Context::new();
+        let module = module_with_funcs(&mut ctx, 3);
+        let funcs = ctx.collect_ops(module, "func.func");
+        let mut pm = PassManager::new().with_jobs(4);
+        // Pre-warm one func so the snapshot holds it; the workers must publish
+        // the other two.
+        pm.analyses_mut().get::<ConstantCount>(&ctx, funcs[0]);
+        pm.add_pass(Box::new(SnapshotCountPass));
+        pm.run(&mut ctx, module).unwrap();
+        for (i, &func) in funcs.iter().enumerate() {
+            assert_eq!(
+                pm.analyses().cached::<ConstantCount>(&ctx, func),
+                Some(&ConstantCount(i + 1)),
+                "func {i} must be cached after the parallel pass"
+            );
+        }
     }
 
     #[cfg(debug_assertions)]
