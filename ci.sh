@@ -38,15 +38,15 @@ ablations=(
 )
 for pipeline in "${ablations[@]}"; do
   echo "    -> ${pipeline}"
-  cargo run --release -q -p hida-opt --bin hida-opt -- \
+  cargo run --release -q -p hida --bin hida-opt -- \
     --workload two_mm --pipeline "${pipeline}" > /dev/null
 done
 
 echo "==> parallel determinism: --jobs 1 and --jobs 4 schedules/QoR must match"
 strip_timing() { grep -v '^jobs:' | grep -vE ' us, ops |cache|workers'; }
-jobs1=$(cargo run --release -q -p hida-opt --bin hida-opt -- \
+jobs1=$(cargo run --release -q -p hida --bin hida-opt -- \
   --workload two_mm --jobs 1 | strip_timing)
-jobs4=$(cargo run --release -q -p hida-opt --bin hida-opt -- \
+jobs4=$(cargo run --release -q -p hida --bin hida-opt -- \
   --workload two_mm --jobs 4 | strip_timing)
 if [[ "${jobs1}" != "${jobs4}" ]]; then
   echo "--jobs 1 and --jobs 4 outputs diverged"
@@ -56,7 +56,7 @@ fi
 
 echo "==> analysis cache effectiveness (same ablation twice; both runs must report hits)"
 for attempt in 1 2; do
-  out=$(cargo run --release -q -p hida-opt --bin hida-opt -- \
+  out=$(cargo run --release -q -p hida --bin hida-opt -- \
     --workload two_mm --stats-json)
   if ! echo "${out}" | grep -q '"hits":[1-9]'; then
     echo "run ${attempt}: no analysis cache hits reported"
@@ -64,5 +64,54 @@ for attempt in 1 2; do
     exit 1
   fi
 done
+
+echo "==> sweep smoke: reduced-grid fig10 (pooled vs sequential loop)"
+sweep_json=$(mktemp /tmp/BENCH_sweep.XXXXXX.json)
+cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+  --jobs 4 --sweep-json "${sweep_json}" > /dev/null
+if ! grep -q '"qor_identical": true' "${sweep_json}"; then
+  echo "pooled sweep QoR diverged from the sequential loop"
+  cat "${sweep_json}"
+  exit 1
+fi
+# Cross-point cache hits are asserted on a pool-of-1 engine run: with points
+# compiling strictly in order the hit count is deterministic (concurrent
+# points may legitimately race compute-before-publish on a shared entry).
+cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+  --jobs 1 --sweep-json "${sweep_json}" > /dev/null
+if ! grep -qE '"shared_cache": \{"hits": [1-9]' "${sweep_json}"; then
+  echo "no cross-compilation estimate cache hits reported"
+  cat "${sweep_json}"
+  exit 1
+fi
+rm -f "${sweep_json}"
+
+echo "==> hida-opt --sweep determinism: --jobs 1 and --jobs 4 QoR must match"
+sweep_variants=$(mktemp /tmp/sweep_variants.XXXXXX.txt)
+cat > "${sweep_variants}" <<'EOF'
+construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize{max-factor=8,device=zu3eg}
+construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize{max-factor=16,device=zu3eg}
+construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize{max-factor=8,device=zu3eg}
+construct,lower,parallelize{max-factor=8,mode=Naive,device=zu3eg}
+EOF
+strip_sweep_timing() { grep -vE '^jobs:|time:|cache|wall-clock'; }
+sweep1=$(cargo run --release -q -p hida --bin hida-opt -- \
+  --workload two_mm --sweep "${sweep_variants}" --jobs 1 | strip_sweep_timing)
+sweep4=$(cargo run --release -q -p hida --bin hida-opt -- \
+  --workload two_mm --sweep "${sweep_variants}" --jobs 4 | strip_sweep_timing)
+if [[ "${sweep1}" != "${sweep4}" ]]; then
+  echo "--sweep outputs diverged between --jobs 1 and --jobs 4"
+  diff <(echo "${sweep1}") <(echo "${sweep4}") || true
+  exit 1
+fi
+# The duplicated variant must hit the cross-compilation cache.
+sweep_stats=$(cargo run --release -q -p hida --bin hida-opt -- \
+  --workload two_mm --sweep "${sweep_variants}" --jobs 1 --stats-json 2> /dev/null)
+if ! echo "${sweep_stats}" | grep -qE '"shared_cache_totals":\{"hits":[1-9]'; then
+  echo "hida-opt --sweep reported no cross-compilation cache hits"
+  echo "${sweep_stats}"
+  exit 1
+fi
+rm -f "${sweep_variants}"
 
 echo "CI OK"

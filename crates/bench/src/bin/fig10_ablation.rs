@@ -5,25 +5,41 @@
 //! sweep (parallel factor 1-256, tile 2-32); the default uses a reduced grid.
 //!
 //! Every ablation variant is a *pipeline string* handed to the pass registry —
-//! the same text the `hida-opt` CLI accepts — so each design point documents its
-//! exact flow. The per-pass compile-time breakdown of the last design point is
-//! printed at the end.
+//! the same text the `hida-opt` CLI accepts — built by the shared
+//! [`hida_bench::variants::fig10`] helper. The design points run through the
+//! [`SweepRunner`]: a pooled, estimate-sharing sweep is compared against the
+//! sequential share-nothing loop (byte-identical per-point QoR enforced), and
+//! the wall-clock/speedup/cache-traffic summary is written to
+//! `BENCH_sweep.json` (override with `--sweep-json <path>`). `--jobs <n>` caps
+//! the sweep's total worker-thread budget.
 
-use hida::{Compiler, HidaOptions, Model, Workload};
-
-/// The Figure 10 variant: the full HIDA flow with the swept tile size and
-/// parallel factor as pass options.
-fn variant(parallel_factor: i64, tile_size: i64) -> String {
-    format!(
-        "construct,fusion,lower,multi-producer-elim,\
-         tiling{{factor={tile_size},external-threshold-bytes=65536}},\
-         balance{{external-threshold-bytes=65536}},\
-         parallelize{{max-factor={parallel_factor},mode=IA+CA,device=vu9p-slr}}"
-    )
-}
+use hida::{HidaOptions, Model, SweepPoint, Workload};
+use hida_bench::{variants, SweepRunner};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let json_path = value_of("--sweep-json").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let jobs: usize = match value_of("--jobs") {
+        Some(raw) => match raw.parse() {
+            Ok(jobs) if jobs >= 1 => jobs,
+            _ => {
+                eprintln!("error: --jobs: '{raw}' is not a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None if args.iter().any(|a| a == "--jobs") => {
+            eprintln!("error: --jobs requires a value");
+            std::process::exit(2);
+        }
+        None => hida::ir::default_jobs(),
+    };
+
     let parallel_factors: Vec<i64> = if full {
         vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
     } else {
@@ -35,29 +51,53 @@ fn main() {
         vec![2, 8, 32]
     };
 
-    println!("# Figure 10 — ResNet-18 parallel factor x tile size ablation (VU9P SLR)");
-    println!("# variant pipeline: {}", variant(256, 32));
-    println!("parallel_factor, tile_size, dsp, bram_18k, throughput_samples_per_s");
-    let mut last_statistics = Vec::new();
+    let mut runner = SweepRunner::new(if full { "fig10-full" } else { "fig10-reduced" });
     for &pf in &parallel_factors {
         for &tile in &tile_sizes {
-            let result = Compiler::new(HidaOptions::dnn())
-                .with_pipeline(variant(pf, tile))
-                .with_jobs(hida::ir::default_jobs())
-                .compile(Workload::Model(Model::ResNet18))
-                .expect("resnet compilation");
+            runner = runner.point(
+                SweepPoint::new(
+                    format!("pf{pf}-tile{tile}"),
+                    Workload::Model(Model::ResNet18),
+                    HidaOptions::dnn(),
+                )
+                .with_pipeline(variants::fig10(pf, tile)),
+            );
+        }
+    }
+
+    println!("# Figure 10 — ResNet-18 parallel factor x tile size ablation (VU9P SLR)");
+    println!("# variant pipeline: {}", variants::fig10(256, 32));
+    let comparison = runner.compare(jobs);
+
+    println!("parallel_factor, tile_size, dsp, bram_18k, throughput_samples_per_s");
+    let mut last_statistics = &Vec::new();
+    let mut index = 0;
+    for &pf in &parallel_factors {
+        for &tile in &tile_sizes {
+            let point = &comparison.outcome.points[index];
+            index += 1;
+            let result = point.result.as_ref().expect("resnet compilation");
             println!(
                 "{pf}, {tile}, {}, {}, {:.3}",
                 result.estimate.resources.dsp,
                 result.estimate.resources.bram_18k,
                 result.estimate.throughput()
             );
-            last_statistics = result.pass_statistics;
+            last_statistics = &result.pass_statistics;
         }
     }
 
     println!("\n# Per-pass compile-time breakdown (last design point)");
-    for stat in &last_statistics {
+    for stat in last_statistics {
         println!("{stat}");
+    }
+
+    comparison.print_summary();
+    match comparison.write_json(&json_path) {
+        Ok(()) => println!("sweep report written to {json_path}"),
+        Err(e) => eprintln!("error: could not write {json_path}: {e}"),
+    }
+    if !comparison.qor_identical() {
+        std::process::exit(1);
     }
 }

@@ -4,24 +4,15 @@
 //! factor, reports DSP count, BRAM count and throughput. Pass `--full` for the full
 //! factor sweep.
 //!
-//! The ablation axis is a *pipeline string*: each variant is the full DNN flow
-//! with the strategy carried in the `parallelize{mode=...}` pass option — the
-//! same text the `hida-opt` CLI accepts — as the printed pipeline of the sample
-//! variant shows.
+//! The ablation axis is a *pipeline string* built by the shared
+//! [`hida_bench::variants::fig11`] helper: each variant is the full DNN flow
+//! with the strategy carried in the `parallelize{mode=...}` pass option. The
+//! design points fan out through the [`SweepRunner`] pool with cross-
+//! compilation estimate sharing; per-point results are identical to the old
+//! sequential loop by construction (the fig10 harness and CI enforce it).
 
-use hida::{Compiler, HidaOptions, Model, ParallelMode, Workload};
-
-/// The Figure 11 variant: the full DNN flow with the ablated parallelization
-/// mode and the swept parallel factor as pass options.
-fn variant(mode: ParallelMode, parallel_factor: i64) -> String {
-    format!(
-        "construct,fusion,lower,multi-producer-elim,\
-         tiling{{factor=16,external-threshold-bytes=65536}},\
-         balance{{external-threshold-bytes=65536}},\
-         parallelize{{max-factor={parallel_factor},mode={},device=vu9p-slr}}",
-        mode.label()
-    )
-}
+use hida::{Compiler, HidaOptions, Model, ParallelMode, SweepPoint, Workload};
+use hida_bench::{variants, SweepRunner};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -37,14 +28,29 @@ fn main() {
         ParallelMode::Naive,
     ];
 
-    println!("# Figure 11 — ResNet-18 IA/CA ablation (VU9P SLR)");
-    println!("mode, parallel_factor, dsp, bram_18k, throughput_samples_per_s");
+    let mut runner = SweepRunner::new(if full { "fig11-full" } else { "fig11-reduced" });
     for &mode in &modes {
         for &pf in &parallel_factors {
-            let result = Compiler::new(HidaOptions::dnn())
-                .with_pipeline(variant(mode, pf))
-                .compile(Workload::Model(Model::ResNet18))
-                .expect("resnet compilation");
+            runner = runner.point(
+                SweepPoint::new(
+                    format!("{}-pf{pf}", mode.label()),
+                    Workload::Model(Model::ResNet18),
+                    HidaOptions::dnn(),
+                )
+                .with_pipeline(variants::fig11(mode, pf)),
+            );
+        }
+    }
+    let outcome = runner.run(hida::ir::default_jobs());
+
+    println!("# Figure 11 — ResNet-18 IA/CA ablation (VU9P SLR)");
+    println!("mode, parallel_factor, dsp, bram_18k, throughput_samples_per_s");
+    let mut index = 0;
+    for &mode in &modes {
+        for &pf in &parallel_factors {
+            let point = &outcome.points[index];
+            index += 1;
+            let result = point.result.as_ref().expect("resnet compilation");
             println!(
                 "{}, {pf}, {}, {}, {:.3}",
                 mode.label(),
@@ -54,9 +60,17 @@ fn main() {
             );
         }
     }
+    if let Some(cache) = &outcome.shared_cache {
+        println!(
+            "\n# Sweep: {} points in {:.3}s ({} concurrent), estimate cache {cache}",
+            outcome.points.len(),
+            outcome.wall_seconds,
+            outcome.budget.pool_jobs
+        );
+    }
 
     // The mode is plain pass configuration inside the pipeline string.
-    let sample = variant(ParallelMode::CaOnly, 256);
+    let sample = variants::fig11(ParallelMode::CaOnly, 256);
     println!("\n# Pipeline of the CA-only variant\n{sample}");
     let result = Compiler::new(HidaOptions::dnn())
         .with_pipeline(sample)

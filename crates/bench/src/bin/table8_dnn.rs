@@ -1,26 +1,36 @@
 //! Regenerates Table 8: DNN models compiled with HIDA vs DNNBuilder and ScaleHLS on
 //! one VU9P SLR, reporting throughput and DSP efficiency.
+//!
+//! The independent HIDA compilations (one per model) fan out through the
+//! [`SweepRunner`] pool; layers repeated across models (and within them) share
+//! their QoR estimates through the cross-compilation cache. Per-point results
+//! are identical to the old sequential loop — the merge order is
+//! deterministic and the estimate cache is content-addressed.
 
 use hida::estimator::dataflow::DataflowEstimator;
 use hida::ir::Context;
-use hida::{Compiler, FpgaDevice, Model, Workload};
-use hida_bench::{print_throughput_table, Row};
+use hida::{FpgaDevice, HidaOptions, Model, SweepPoint, Workload};
+use hida_bench::{print_throughput_table, Row, SweepRunner};
 
 fn main() {
     let device = FpgaDevice::vu9p_slr();
-    // Per-node pass work and estimation parallelize across the machine; the
-    // merge order is deterministic, so the reported numbers are unchanged.
     let jobs = hida::ir::default_jobs();
     let estimator = DataflowEstimator::new(device.clone()).with_jobs(jobs);
     let mut throughput_rows = Vec::new();
     let mut efficiency_rows = Vec::new();
 
+    // All HIDA design points at once: one per model, pooled.
+    let models = Model::table8();
+    let runner =
+        SweepRunner::new("table8-dnn").points(models.iter().map(|&model| {
+            SweepPoint::new(model.name(), Workload::Model(model), HidaOptions::dnn())
+        }));
+    let outcome = runner.run(jobs);
+
     println!("# Table 8 — DNN models on one VU9P SLR");
-    for model in Model::table8() {
-        let result = Compiler::dnn_defaults()
-            .with_jobs(jobs)
-            .compile(Workload::Model(model))
-            .expect("hida compilation");
+    for (model, point) in models.iter().zip(&outcome.points) {
+        let model = *model;
+        let result = point.result.as_ref().expect("hida compilation");
         let hida_est = &result.estimate;
 
         // ScaleHLS baseline (only for the models it supports).
@@ -42,7 +52,7 @@ fn main() {
         println!(
             "{:<12} compile {:>6.1}s LUT {:<8} DSP {:<5} | hida {:>9.2} sps ({:>5.1}% eff) | dnnbuilder {} | scalehls {}",
             model.name(),
-            result.compile_seconds,
+            point.seconds,
             hida_est.resources.lut,
             hida_est.resources.dsp,
             hida_est.throughput(),
@@ -85,4 +95,12 @@ fn main() {
     }
     print_throughput_table("Table 8 throughput (samples/s)", &throughput_rows);
     print_throughput_table("Table 8 DSP efficiency", &efficiency_rows);
+    if let Some(cache) = &outcome.shared_cache {
+        println!(
+            "\nsweep: {} models in {:.3}s ({} concurrent), estimate cache {cache}",
+            outcome.points.len(),
+            outcome.wall_seconds,
+            outcome.budget.pool_jobs
+        );
+    }
 }

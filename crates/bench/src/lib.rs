@@ -1,6 +1,21 @@
 //! Shared helpers for the benchmark harnesses that regenerate every table and figure
 //! of the paper's evaluation (see DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for recorded results).
+//!
+//! Beyond table printing, this crate hosts the pieces every bench binary now
+//! shares instead of re-implementing:
+//!
+//! * [`variants`] — the pipeline-string builders behind the figure/table
+//!   ablations (one source of truth for the swept flows),
+//! * [`SweepRunner`] — the harness that drives a list of design points
+//!   through the sweep engine ([`hida::SweepEngine`]), compares the pooled
+//!   shared-cache run against the sequential share-nothing loop, and emits
+//!   the `BENCH_sweep.json` perf-trajectory artifact.
+
+pub mod variants;
+
+mod sweep_runner;
+pub use sweep_runner::{SweepComparison, SweepRunner};
 
 use hida::{DesignEstimate, FpgaDevice};
 

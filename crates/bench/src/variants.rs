@@ -1,0 +1,68 @@
+//! Pipeline-string builders shared by the benchmark binaries.
+//!
+//! Every ablation variant of the paper's evaluation is a *textual pipeline* —
+//! the same string the `hida-opt` CLI accepts — so each design point documents
+//! its exact flow. The builders here are the single source of those strings;
+//! the fig10/fig11 binaries (and any future sweep) parameterize them instead
+//! of formatting their own copies.
+
+use hida::ParallelMode;
+
+/// Byte threshold above which tiled buffers spill to external memory in the
+/// DNN ablations (64 KiB, matching `HidaOptions::dnn`).
+pub const DNN_EXTERNAL_THRESHOLD_BYTES: i64 = 65536;
+
+/// The full DNN ablation flow on one VU9P SLR with every swept knob exposed:
+/// tile size, maximum parallel factor and parallelization mode.
+pub fn dnn_ablation(tile_size: i64, parallel_factor: i64, mode: ParallelMode) -> String {
+    format!(
+        "construct,fusion,lower,multi-producer-elim,\
+         tiling{{factor={tile_size},external-threshold-bytes={threshold}}},\
+         balance{{external-threshold-bytes={threshold}}},\
+         parallelize{{max-factor={parallel_factor},mode={mode},device=vu9p-slr}}",
+        threshold = DNN_EXTERNAL_THRESHOLD_BYTES,
+        mode = mode.label()
+    )
+}
+
+/// The Figure 10 variant: the full HIDA flow with the swept tile size and
+/// parallel factor as pass options.
+pub fn fig10(parallel_factor: i64, tile_size: i64) -> String {
+    dnn_ablation(tile_size, parallel_factor, ParallelMode::IaCa)
+}
+
+/// The Figure 11 variant: the full DNN flow with the ablated parallelization
+/// mode and the swept parallel factor as pass options (tile size fixed at 16,
+/// the Table 8 setting).
+pub fn fig11(mode: ParallelMode, parallel_factor: i64) -> String {
+    dnn_ablation(16, parallel_factor, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hida::{registry, Pipeline};
+
+    #[test]
+    fn variants_parse_through_the_registry() {
+        for text in [
+            fig10(256, 32),
+            fig11(ParallelMode::CaOnly, 64),
+            dnn_ablation(8, 16, ParallelMode::Naive),
+        ] {
+            let pipeline = Pipeline::parse(&registry(), &text)
+                .unwrap_or_else(|e| panic!("variant '{text}' must parse: {e}"));
+            assert!(!pipeline.is_empty());
+            // The rendered form is itself a valid pipeline (round-trip).
+            Pipeline::parse(&registry(), &pipeline.to_text())
+                .unwrap_or_else(|e| panic!("rendered variant must re-parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn fig10_and_fig11_share_the_dnn_skeleton() {
+        assert_eq!(fig10(64, 16), fig11(ParallelMode::IaCa, 64));
+        assert!(fig10(1, 2).contains("tiling{factor=2"));
+        assert!(fig11(ParallelMode::Naive, 8).contains("mode=Naive"));
+    }
+}

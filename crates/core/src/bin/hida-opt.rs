@@ -9,11 +9,19 @@
 //! hida-opt --workload two_mm \
 //!     --pipeline "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
 //! hida-opt --workload lenet --preset dnn
+//! hida-opt --workload resnet-18 --sweep variants.txt --jobs 8
 //! ```
 //!
 //! Prints the normalized pipeline, per-pass `PassStatistics`, the resulting
-//! schedule (nodes, unroll factors, buffers) and the estimated QoR.
+//! schedule (nodes, unroll factors, buffers) and the estimated QoR. With
+//! `--sweep <file>` (one pipeline string per line), every line becomes an
+//! independent design point of the workload: the points fan out over the
+//! sweep engine's pool and share per-node QoR estimates through the
+//! content-addressed cross-compilation cache, with `--jobs` as the total
+//! worker-thread budget.
 
+use hida::sweep::{json_escape, JobBudget, SweepEngine, SweepOutcome, SweepPoint};
+use hida::{SharedCacheStats, Workload};
 use hida_dialects::analysis::ComputeProfile;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
@@ -23,7 +31,6 @@ use hida_ir_core::pass::PassStatistics;
 use hida_ir_core::{AnalysisCacheStats, Context, OpId};
 use hida_opt::registry::{registry, registry_listing};
 use hida_opt::{HidaOptions, Pipeline};
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -35,16 +42,25 @@ usage: hida-opt [OPTIONS]
                         \"construct,fusion,lower,tiling{factor=4},parallelize\"
   --preset <name>       pipeline preset when --pipeline is omitted:
                         default | polybench | dnn
+  --sweep <file>        run every non-empty, non-# line of <file> as an
+                        independent pipeline variant of the workload: the
+                        design points compile concurrently on the sweep pool
+                        and share per-node QoR estimates through the
+                        content-addressed cross-compilation cache
   --size <n>            PolyBench problem size (default: the kernel's own)
   --jobs <n>            worker threads for per-node pass work and QoR
-                        estimation (default: available parallelism; 1 = fully
+                        estimation; under --sweep, the total budget split
+                        between concurrent points and per-point workers
+                        (default: available parallelism; 1 = fully
                         sequential, bitwise-reproducible execution)
   --device <name>       device for QoR estimation: pynq-z2 | zu3eg | vu9p-slr
                         (default: the pipeline's parallelize device, else
                         vu9p-slr)
   --no-verify           skip inter-pass IR verification
   --stats-json          emit per-pass statistics (timing, op deltas, analysis
-                        cache hits/misses) as one JSON object on stdout; the
+                        + estimator cache hits/misses; under --sweep, the
+                        per-point QoR and aggregated cross-compilation cache
+                        counters) as one JSON object on stdout; the
                         human-readable report moves to stderr
   --list-passes         print the pass registry and exit
   --list-workloads      print the known workloads and exit
@@ -102,6 +118,7 @@ struct Args {
     workload: Option<String>,
     pipeline: Option<String>,
     preset: Option<String>,
+    sweep: Option<String>,
     size: Option<i64>,
     jobs: Option<usize>,
     device: Option<String>,
@@ -125,6 +142,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--workload" => args.workload = Some(value_of("--workload")?),
             "--pipeline" => args.pipeline = Some(value_of("--pipeline")?),
             "--preset" => args.preset = Some(value_of("--preset")?),
+            "--sweep" => args.sweep = Some(value_of("--sweep")?),
             "--size" => {
                 let raw = value_of("--size")?;
                 let size: i64 = raw
@@ -171,23 +189,6 @@ fn preset_text(preset: &str) -> Result<String, String> {
     Ok(options.pipeline_text())
 }
 
-fn json_escape(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn cache_json(cache: &AnalysisCacheStats) -> String {
     format!(
         "{{\"hits\":{},\"misses\":{},\"invalidations\":{},\"preserved\":{}}}",
@@ -208,9 +209,25 @@ fn parallel_json(parallel: Option<&hida_ir_core::ParallelStats>) -> String {
     }
 }
 
+fn shared_cache_json(shared: &SharedCacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.3}}}",
+        shared.hits,
+        shared.misses,
+        shared.entries,
+        shared.hit_rate()
+    )
+}
+
 /// Renders the per-pass statistics (and their aggregate analysis-cache
-/// counters) as one machine-readable JSON object for the CI ablation matrix.
-fn stats_json(workload: &str, pipeline_text: &str, statistics: &[PassStatistics]) -> String {
+/// counters, plus the QoR estimator's cache when estimation ran) as one
+/// machine-readable JSON object for the CI ablation matrix.
+fn stats_json(
+    workload: &str,
+    pipeline_text: &str,
+    statistics: &[PassStatistics],
+    estimator_cache: Option<&AnalysisCacheStats>,
+) -> String {
     let totals = PassStatistics::aggregate_cache(statistics);
     let passes: Vec<String> = statistics
         .iter()
@@ -244,15 +261,198 @@ fn stats_json(workload: &str, pipeline_text: &str, statistics: &[PassStatistics]
         })
         .collect();
     format!(
-        "{{\"workload\":\"{}\",\"pipeline\":\"{}\",\"passes\":[{}],\"analysis_cache_totals\":{}}}",
+        "{{\"workload\":\"{}\",\"pipeline\":\"{}\",\"passes\":[{}],\
+         \"analysis_cache_totals\":{},\"estimator_cache\":{}}}",
         json_escape(workload),
         json_escape(pipeline_text),
         passes.join(","),
-        cache_json(&totals)
+        cache_json(&totals),
+        estimator_cache.map_or_else(|| "null".to_string(), cache_json),
     )
 }
 
+/// Renders a sweep's per-point QoR and the aggregated cross-compilation cache
+/// counters as one machine-readable JSON object.
+fn sweep_json(workload: &str, outcome: &SweepOutcome) -> String {
+    let points: Vec<String> = outcome
+        .points
+        .iter()
+        .enumerate()
+        .map(|(index, point)| match &point.result {
+            Ok(result) => format!(
+                "{{\"index\":{index},\"pipeline\":\"{}\",\"seconds\":{:.6},\
+                 \"throughput\":{:.3},\"dsp\":{},\"bram_18k\":{},\"shared_cache\":{}}}",
+                json_escape(&point.pipeline),
+                point.seconds,
+                result.estimate.throughput(),
+                result.estimate.resources.dsp,
+                result.estimate.resources.bram_18k,
+                result
+                    .shared_estimator_cache
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), shared_cache_json),
+            ),
+            Err(e) => format!(
+                "{{\"index\":{index},\"pipeline\":\"{}\",\"seconds\":{:.6},\"error\":\"{}\"}}",
+                json_escape(&point.pipeline),
+                point.seconds,
+                json_escape(&e.to_string()),
+            ),
+        })
+        .collect();
+    format!(
+        "{{\"workload\":\"{}\",\"sweep\":{{\"pool_jobs\":{},\"point_jobs\":{},\
+         \"wall_seconds\":{:.6},\"points\":[{}],\"shared_cache_totals\":{}}}}}",
+        json_escape(workload),
+        outcome.budget.pool_jobs,
+        outcome.budget.point_jobs,
+        outcome.wall_seconds,
+        points.join(","),
+        outcome
+            .shared_cache
+            .as_ref()
+            .map_or_else(|| "null".to_string(), shared_cache_json),
+    )
+}
+
+/// The device the pipeline's last `parallelize` pass sized the design for.
+fn pipeline_device(pipeline: &Pipeline) -> Option<String> {
+    pipeline
+        .invocations()
+        .iter()
+        .rev()
+        .find(|i| i.name == "parallelize")
+        .and_then(|i| i.options.iter().find(|o| o.name == "device"))
+        .map(|o| o.value.clone())
+}
+
+fn resolve_device(name: &str) -> Result<FpgaDevice, String> {
+    FpgaDevice::by_name(name).ok_or_else(|| {
+        let known: Vec<String> = FpgaDevice::catalog().into_iter().map(|d| d.name).collect();
+        format!("unknown device '{name}' (known: {})", known.join(", "))
+    })
+}
+
+/// `--sweep` mode: every line of the sweep file is an independent pipeline
+/// variant of the workload, compiled through the sweep engine's pool with the
+/// cross-compilation estimate cache attached.
+fn run_sweep(args: &Args) -> Result<(), String> {
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if args.stats_json {
+                eprintln!($($arg)*)
+            } else {
+                println!($($arg)*)
+            }
+        };
+    }
+    if args.pipeline.is_some() || args.preset.is_some() {
+        return Err("--sweep is exclusive with --pipeline and --preset".to_string());
+    }
+    let workload_name = args
+        .workload
+        .as_deref()
+        .ok_or("missing --workload (try --list-workloads)")?;
+    let workload = resolve_workload(workload_name)
+        .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing()))?;
+    let path = args
+        .sweep
+        .as_deref()
+        .expect("caller checked --sweep is set");
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("--sweep: cannot read '{path}': {e}"))?;
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .collect();
+    if lines.is_empty() {
+        return Err(format!("--sweep: '{path}' contains no pipeline variants"));
+    }
+
+    let workload = match workload {
+        CliWorkload::Polybench(kernel) => {
+            let size = args.size.unwrap_or_else(|| kernel.default_size());
+            say!("workload: {} (PolyBench, size {size})", kernel.name());
+            Workload::PolybenchSized(kernel, size)
+        }
+        CliWorkload::Model(model) => {
+            say!("workload: {} (DNN model)", model.name());
+            Workload::Model(model)
+        }
+    };
+    let mut points = Vec::new();
+    for (index, line) in lines.iter().enumerate() {
+        // Validate early: a typo on line 7 should fail before compiling lines
+        // 1-6, with the line number in the message.
+        let parsed = Pipeline::parse(&registry(), line)
+            .map_err(|e| format!("sweep variant on line {}: {e}", index + 1))?;
+        let device_name = args
+            .device
+            .clone()
+            .or_else(|| pipeline_device(&parsed))
+            .unwrap_or_else(|| "vu9p-slr".to_string());
+        let options = HidaOptions {
+            device: resolve_device(&device_name)?,
+            ..HidaOptions::default()
+        };
+        points.push(
+            SweepPoint::new(format!("p{:02}", index + 1), workload, options).with_pipeline(*line),
+        );
+    }
+
+    let total_jobs = args.jobs.unwrap_or_else(hida_ir_core::default_jobs);
+    let budget = JobBudget::for_points(total_jobs, points.len());
+    say!("sweep: {} design points from {path}", points.len());
+    say!(
+        "jobs: {total_jobs} total -> {} concurrent points x {} each",
+        budget.pool_jobs,
+        budget.point_jobs
+    );
+    let outcome = SweepEngine::new()
+        .with_budget(budget)
+        .with_verification(!args.no_verify)
+        .run(&points);
+
+    for (index, point) in outcome.points.iter().enumerate() {
+        say!("\npoint {:02}: {}", index + 1, point.pipeline);
+        match &point.result {
+            Ok(result) => {
+                say!(
+                    "  qor: throughput {:.3} samples/s, DSP {}, BRAM-18K {}, LUT {}",
+                    result.estimate.throughput(),
+                    result.estimate.resources.dsp,
+                    result.estimate.resources.bram_18k,
+                    result.estimate.resources.lut
+                );
+                say!(
+                    "  time: {:.4}s, shared cache {}",
+                    point.seconds,
+                    result.shared_estimator_cache.unwrap_or_default()
+                );
+            }
+            Err(e) => say!("  error: {e}"),
+        }
+    }
+    if let Some(cache) = &outcome.shared_cache {
+        say!(
+            "\nsweep wall-clock {:.4}s, cross-compilation estimate cache: {cache}",
+            outcome.wall_seconds
+        );
+    }
+    if args.stats_json {
+        println!("{}", sweep_json(workload_name, &outcome));
+    }
+    if !outcome.all_ok() {
+        return Err("one or more sweep points failed (see the report above)".to_string());
+    }
+    Ok(())
+}
+
 fn run(args: Args) -> Result<(), String> {
+    if args.sweep.is_some() {
+        return run_sweep(&args);
+    }
     // With --stats-json, stdout carries exactly one JSON object; the
     // human-readable report moves to stderr so `hida-opt --stats-json | jq .`
     // works as documented.
@@ -283,25 +483,12 @@ fn run(args: Args) -> Result<(), String> {
     }
     // Estimate QoR against the device the design was actually sized for: the
     // parallelize pass's device option, unless --device overrides it.
-    let pipeline_device = pipeline
-        .invocations()
-        .iter()
-        .rev()
-        .find(|i| i.name == "parallelize")
-        .and_then(|i| i.options.iter().find(|o| o.name == "device"))
-        .map(|o| o.value.clone());
     let device_name = args
         .device
         .clone()
-        .or(pipeline_device)
+        .or_else(|| pipeline_device(&pipeline))
         .unwrap_or_else(|| "vu9p-slr".to_string());
-    let device = FpgaDevice::by_name(&device_name).ok_or_else(|| {
-        let known: Vec<String> = FpgaDevice::catalog().into_iter().map(|d| d.name).collect();
-        format!(
-            "unknown device '{device_name}' (known: {})",
-            known.join(", ")
-        )
-    })?;
+    let device = resolve_device(&device_name)?;
     if args.no_verify {
         pipeline = pipeline.with_verification(false);
     }
@@ -335,13 +522,18 @@ fn run(args: Args) -> Result<(), String> {
     }
     let cache_totals = PassStatistics::aggregate_cache(pipeline.statistics());
     say!("analysis cache totals: {cache_totals}");
-    if args.stats_json {
-        println!(
-            "{}",
-            stats_json(workload_name, &pipeline_text, pipeline.statistics())
-        );
+    // A failing pipeline still reports where (and after how long) it died —
+    // including the machine-readable statistics, with the estimator section
+    // nulled out because estimation never ran.
+    if let Err(e) = &run_result {
+        if args.stats_json {
+            println!(
+                "{}",
+                stats_json(workload_name, &pipeline_text, pipeline.statistics(), None)
+            );
+        }
+        return Err(e.to_string());
     }
-    // A failing pipeline still reported where (and after how long) it died.
     let schedule = run_result.map_err(|e| e.to_string())?;
 
     say!("\n# Schedule ({} nodes)", schedule.nodes(&ctx).len());
@@ -396,6 +588,17 @@ fn run(args: Args) -> Result<(), String> {
         "estimator cache: {} (dataflow + sequential estimates share node estimates)",
         estimator.cache_stats()
     );
+    if args.stats_json {
+        println!(
+            "{}",
+            stats_json(
+                workload_name,
+                &pipeline_text,
+                pipeline.statistics(),
+                Some(&estimator.cache_stats()),
+            )
+        );
+    }
     Ok(())
 }
 

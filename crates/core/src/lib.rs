@@ -43,6 +43,8 @@
 //! assert_eq!(sequential.hls_cpp, parallel.hls_cpp);
 //! ```
 
+pub mod sweep;
+
 pub use hida_baselines as baselines;
 pub use hida_dataflow_ir as dataflow_ir;
 pub use hida_dialects as dialects;
@@ -55,6 +57,7 @@ pub use hida_sim as sim;
 
 pub use hida_estimator::device::FpgaDevice;
 pub use hida_estimator::report::DesignEstimate;
+pub use hida_estimator::shared_cache::{SharedCacheStats, SharedEstimateCache};
 pub use hida_frontend::nn::Model;
 pub use hida_frontend::polybench::PolybenchKernel;
 pub use hida_ir_core::analysis::{
@@ -64,10 +67,12 @@ pub use hida_ir_core::pass::{PassOption, PassStatistics, PipelineState};
 pub use hida_ir_core::registry::{PassRegistry, PipelineError};
 pub use hida_ir_core::PassInvocation;
 pub use hida_opt::{registry, registry_listing, HidaOptions, ParallelMode, Pipeline};
+pub use sweep::{JobBudget, SweepEngine, SweepOutcome, SweepPoint, SweepPointOutcome};
 
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_ir_core::{Context, IrError, IrResult, OpId};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A workload accepted by the compiler: a neural network from the model zoo, a
@@ -118,6 +123,10 @@ pub struct CompilationResult {
     /// Analysis-cache counters of the QoR estimator (the dataflow and
     /// sequential estimates share per-node results).
     pub estimator_cache: AnalysisCacheStats,
+    /// This compilation's traffic against the cross-compilation estimate
+    /// cache, when one was attached with [`Compiler::with_shared_estimates`]
+    /// (e.g. by the [`sweep`] engine). `None` for isolated compilations.
+    pub shared_estimator_cache: Option<SharedCacheStats>,
 }
 
 /// The end-to-end HIDA compiler.
@@ -129,6 +138,12 @@ pub struct Compiler {
     /// Worker threads for per-node pass work and QoR estimation (1 = fully
     /// sequential).
     jobs: usize,
+    /// Cross-compilation estimate cache shared with other compilations of the
+    /// same sweep, when attached.
+    shared_estimates: Option<Arc<SharedEstimateCache>>,
+    /// Whether the pipeline verifies the IR between passes and after the run
+    /// (on by default; disable to trade safety for compile time).
+    verification: bool,
 }
 
 impl Default for Compiler {
@@ -145,6 +160,8 @@ impl Compiler {
             options,
             pipeline: None,
             jobs: 1,
+            shared_estimates: None,
+            verification: true,
         }
     }
 
@@ -198,6 +215,36 @@ impl Compiler {
         self.jobs
     }
 
+    /// Attaches a cross-compilation estimate cache (builder style): per-node
+    /// QoR estimates are shared with every other compilation holding a clone
+    /// of the same `Arc`, keyed by content fingerprint and device, so a
+    /// design-space sweep re-estimates only the nodes that actually changed
+    /// between design points. Results are byte-identical with or without the
+    /// cache; [`CompilationResult::shared_estimator_cache`] reports the
+    /// traffic.
+    pub fn with_shared_estimates(mut self, cache: Arc<SharedEstimateCache>) -> Self {
+        self.shared_estimates = Some(cache);
+        self
+    }
+
+    /// The attached cross-compilation estimate cache, if any.
+    pub fn shared_estimates(&self) -> Option<&Arc<SharedEstimateCache>> {
+        self.shared_estimates.as_ref()
+    }
+
+    /// Enables or disables IR verification (builder style): inter-pass
+    /// verification inside the pipeline and the final whole-module check.
+    /// On by default; the CLI's `--no-verify` maps to `false`.
+    pub fn with_verification(mut self, enabled: bool) -> Self {
+        self.verification = enabled;
+        self
+    }
+
+    /// Whether IR verification runs (see [`Compiler::with_verification`]).
+    pub fn verification(&self) -> bool {
+        self.verification
+    }
+
     /// Compiles a workload end to end.
     ///
     /// # Errors
@@ -237,15 +284,28 @@ impl Compiler {
             None => Pipeline::from_options(&self.options),
         }
         .with_jobs(self.jobs);
+        if !self.verification {
+            pipeline = pipeline.with_verification(false);
+        }
         let schedule = pipeline.run(&mut ctx, func)?;
         let pass_statistics = pipeline.statistics().to_vec();
         let analysis_cache = PassStatistics::aggregate_cache(&pass_statistics);
-        hida_ir_core::verifier::verify(&ctx, module)
-            .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
-        let estimator = DataflowEstimator::new(self.options.device.clone()).with_jobs(self.jobs);
+        if self.verification {
+            hida_ir_core::verifier::verify(&ctx, module)
+                .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
+        }
+        let mut estimator =
+            DataflowEstimator::new(self.options.device.clone()).with_jobs(self.jobs);
+        if let Some(cache) = &self.shared_estimates {
+            estimator = estimator.with_shared_cache(cache.clone());
+        }
         let estimate = estimator.estimate_schedule(&ctx, schedule, true);
         let estimate_sequential = estimator.estimate_schedule(&ctx, schedule, false);
         let estimator_cache = estimator.cache_stats();
+        let shared_estimator_cache = self
+            .shared_estimates
+            .as_ref()
+            .map(|_| estimator.shared_cache_stats());
         let hls_cpp = hida_emitter::emit_schedule(&ctx, schedule);
         let compile_seconds = start.elapsed().as_secs_f64();
         Ok(CompilationResult {
@@ -259,6 +319,7 @@ impl Compiler {
             pass_statistics,
             analysis_cache,
             estimator_cache,
+            shared_estimator_cache,
         })
     }
 }

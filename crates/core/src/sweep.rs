@@ -1,0 +1,323 @@
+//! Sweep-level parallel compilation with cross-compilation estimate sharing.
+//!
+//! HIDA's evaluation is a design-space sweep: dozens of *independent*
+//! [`Compiler`] invocations — pipeline-string variants of one workload —
+//! whose wall-clock sum, not any single compile, is what users wait for.
+//! This module makes the whole sweep the unit of optimization:
+//!
+//! * [`SweepEngine`] fans [`SweepPoint`]s out over the same work-stealing pool
+//!   ([`hida_ir_core::par::run_batch`]) the passes use for per-node work.
+//!   Each design point compiles in its own [`Context`](hida_ir_core::Context)
+//!   (share-nothing), so the only coordination is the result slot per point —
+//!   results come back in declaration order regardless of scheduling.
+//! * A [`JobBudget`] composes the two parallelism levels: `pool_jobs` design
+//!   points run concurrently, each with `point_jobs` worker threads for its
+//!   per-node pass work, and `pool_jobs * point_jobs` never exceeds the
+//!   budgeted total — point-level and node-level parallelism compose without
+//!   oversubscribing the machine.
+//! * A content-addressed [`SharedEstimateCache`] is handed to every point:
+//!   per-node QoR estimates are keyed by structural fingerprint and device,
+//!   so the 100th ResNet-18 design point re-estimates only the nodes whose
+//!   tiling or parallel factors actually changed. The per-node model is a
+//!   pure function of exactly the fingerprinted inputs, which is why sweep
+//!   results are **byte-identical** to a sequential, share-nothing loop — the
+//!   determinism CI enforces.
+
+use crate::{CompilationResult, Compiler, HidaOptions, Workload};
+use hida_estimator::shared_cache::{SharedCacheStats, SharedEstimateCache};
+use hida_ir_core::par::{default_jobs, run_batch};
+use hida_ir_core::{IrResult, ParallelStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Minimal JSON string escaping for the workspace's hand-rolled report
+/// writers (`--stats-json`, `BENCH_sweep.json`; no JSON dependency without
+/// registry access): quotes, backslashes and control characters.
+pub fn json_escape(raw: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One design point of a sweep: a workload plus the compiler configuration
+/// (options and, usually, an explicit pipeline-string variant) to build it
+/// with.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Short label identifying the point in reports (e.g. `"pf64-tile8"`).
+    pub label: String,
+    /// The workload to compile.
+    pub workload: Workload,
+    /// Compiler options (device, workload construction knobs).
+    pub options: HidaOptions,
+    /// Explicit textual pipeline overriding the options-derived flow.
+    pub pipeline: Option<String>,
+}
+
+impl SweepPoint {
+    /// Creates a design point compiling `workload` with `options`.
+    pub fn new(label: impl Into<String>, workload: Workload, options: HidaOptions) -> Self {
+        SweepPoint {
+            label: label.into(),
+            workload,
+            options,
+            pipeline: None,
+        }
+    }
+
+    /// Sets an explicit pipeline-string variant (builder style).
+    pub fn with_pipeline(mut self, text: impl Into<String>) -> Self {
+        self.pipeline = Some(text.into());
+        self
+    }
+
+    /// The textual pipeline this point runs: the explicit variant, or the
+    /// options-derived flow.
+    pub fn pipeline_text(&self) -> String {
+        self.pipeline
+            .clone()
+            .unwrap_or_else(|| self.options.pipeline_text())
+    }
+}
+
+/// How a sweep's worker-thread budget is split between concurrent design
+/// points (`pool_jobs`) and per-node parallelism inside each point
+/// (`point_jobs`).
+///
+/// ```
+/// use hida::JobBudget;
+///
+/// // 8 threads over 12 points: 8 concurrent points, sequential inside.
+/// assert_eq!(JobBudget::for_points(8, 12), JobBudget { pool_jobs: 8, point_jobs: 1 });
+/// // 8 threads over 2 points: 2 concurrent points, 4 workers each.
+/// assert_eq!(JobBudget::for_points(8, 2), JobBudget { pool_jobs: 2, point_jobs: 4 });
+/// assert_eq!(JobBudget::for_points(8, 2).total(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Design points compiling concurrently.
+    pub pool_jobs: usize,
+    /// Worker threads inside each design point (per-node pass work and QoR
+    /// estimation).
+    pub point_jobs: usize,
+}
+
+impl JobBudget {
+    /// The fully sequential budget: one point at a time, no worker threads —
+    /// the bitwise-reproducibility escape hatch and the deterministic-order
+    /// setting for cache-accounting tests.
+    pub fn sequential() -> Self {
+        JobBudget {
+            pool_jobs: 1,
+            point_jobs: 1,
+        }
+    }
+
+    /// Splits `total_jobs` threads over `num_points` design points. Point-
+    /// level parallelism is preferred (independent compilations scale
+    /// perfectly); leftover capacity becomes per-point worker threads. The
+    /// product `pool_jobs * point_jobs` never exceeds `total_jobs`.
+    pub fn for_points(total_jobs: usize, num_points: usize) -> Self {
+        let total = total_jobs.max(1);
+        let pool = total.min(num_points.max(1));
+        JobBudget {
+            pool_jobs: pool,
+            point_jobs: (total / pool).max(1),
+        }
+    }
+
+    /// The maximum number of threads the budget can occupy at once.
+    pub fn total(&self) -> usize {
+        self.pool_jobs * self.point_jobs
+    }
+}
+
+/// Everything produced for one design point.
+#[derive(Debug)]
+pub struct SweepPointOutcome {
+    /// The point's label.
+    pub label: String,
+    /// The textual pipeline the point ran.
+    pub pipeline: String,
+    /// Wall-clock seconds this point took (front-end through emission).
+    pub seconds: f64,
+    /// The compilation result, or the error that stopped it.
+    pub result: IrResult<CompilationResult>,
+}
+
+/// The result of one sweep run.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-point outcomes, in declaration order.
+    pub points: Vec<SweepPointOutcome>,
+    /// The budget the sweep ran under.
+    pub budget: JobBudget,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Aggregate traffic of the cross-compilation estimate cache (`None` when
+    /// sharing was disabled).
+    pub shared_cache: Option<SharedCacheStats>,
+    /// Worker/steal counters of the sweep-level pool.
+    pub pool: ParallelStats,
+}
+
+impl SweepOutcome {
+    /// True when every point compiled successfully.
+    pub fn all_ok(&self) -> bool {
+        self.points.iter().all(|p| p.result.is_ok())
+    }
+
+    /// Sum of the per-point wall-clock times (the time a sequential loop
+    /// would have spent compiling, under the same per-point configuration).
+    pub fn point_seconds_total(&self) -> f64 {
+        self.points.iter().map(|p| p.seconds).sum()
+    }
+}
+
+/// Runs a list of independent design points through the compiler, pooled and
+/// (by default) sharing per-node estimates across points.
+///
+/// ```no_run
+/// use hida::{HidaOptions, PolybenchKernel, SweepEngine, SweepPoint, Workload};
+///
+/// let points: Vec<SweepPoint> = [4, 8, 16]
+///     .iter()
+///     .map(|&factor| {
+///         SweepPoint::new(
+///             format!("pf{factor}"),
+///             Workload::Polybench(PolybenchKernel::TwoMm),
+///             HidaOptions {
+///                 max_parallel_factor: factor,
+///                 ..HidaOptions::polybench()
+///             },
+///         )
+///     })
+///     .collect();
+/// let outcome = SweepEngine::new().run(&points);
+/// assert!(outcome.all_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    budget: Option<JobBudget>,
+    total_jobs: Option<usize>,
+    share_estimates: bool,
+    cache: Option<Arc<SharedEstimateCache>>,
+    verification: bool,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// Creates an engine with the default budget (the machine's available
+    /// parallelism, split when the sweep runs) and estimate sharing enabled.
+    pub fn new() -> Self {
+        SweepEngine {
+            budget: None,
+            total_jobs: None,
+            share_estimates: true,
+            cache: None,
+            verification: true,
+        }
+    }
+
+    /// Sets an explicit job budget (builder style). Without one, the budget
+    /// is [`JobBudget::for_points`] of the machine's available parallelism.
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Splits `total_jobs` threads over the sweep's points when it runs
+    /// (builder style); shorthand for a deferred [`JobBudget::for_points`].
+    pub fn with_total_jobs(mut self, total_jobs: usize) -> Self {
+        self.budget = None;
+        self.total_jobs = Some(total_jobs.max(1));
+        self
+    }
+
+    /// Enables or disables the cross-compilation estimate cache (builder
+    /// style). Disabled, every point is a fully isolated compilation — the
+    /// share-nothing baseline the cache's results are verified against.
+    pub fn with_shared_estimates(mut self, enabled: bool) -> Self {
+        self.share_estimates = enabled;
+        self
+    }
+
+    /// Reuses an existing cache instead of creating a fresh one per run, so
+    /// consecutive sweeps (e.g. CLI invocations in one process) keep sharing.
+    pub fn with_cache(mut self, cache: Arc<SharedEstimateCache>) -> Self {
+        self.cache = Some(cache);
+        self.share_estimates = true;
+        self
+    }
+
+    /// Enables or disables IR verification inside every point's compilation
+    /// (builder style); maps to [`Compiler::with_verification`]. On by
+    /// default — the CLI's `--no-verify` sets `false`.
+    pub fn with_verification(mut self, enabled: bool) -> Self {
+        self.verification = enabled;
+        self
+    }
+
+    /// Compiles every point. Points are independent; under a pooled budget
+    /// they run concurrently, and the outcome vector is always in declaration
+    /// order. Per-point failures are recorded, not propagated — one infeasible
+    /// design point must not kill the other 99.
+    pub fn run(&self, points: &[SweepPoint]) -> SweepOutcome {
+        let budget = self.budget.unwrap_or_else(|| {
+            JobBudget::for_points(self.total_jobs.unwrap_or_else(default_jobs), points.len())
+        });
+        let cache = if self.share_estimates {
+            Some(
+                self.cache
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(SharedEstimateCache::new())),
+            )
+        } else {
+            None
+        };
+        let start = Instant::now();
+        let (outcomes, pool) = run_batch(budget.pool_jobs, points, |point| {
+            let point_start = Instant::now();
+            let mut compiler = Compiler::new(point.options.clone())
+                .with_jobs(budget.point_jobs)
+                .with_verification(self.verification);
+            if let Some(cache) = &cache {
+                compiler = compiler.with_shared_estimates(cache.clone());
+            }
+            if let Some(text) = &point.pipeline {
+                compiler = compiler.with_pipeline(text.clone());
+            }
+            let result = compiler.compile(point.workload);
+            SweepPointOutcome {
+                label: point.label.clone(),
+                pipeline: point.pipeline_text(),
+                seconds: point_start.elapsed().as_secs_f64(),
+                result,
+            }
+        });
+        SweepOutcome {
+            points: outcomes,
+            budget,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            shared_cache: cache.map(|c| c.stats()),
+            pool,
+        }
+    }
+}

@@ -11,14 +11,19 @@ use crate::device::FpgaDevice;
 use crate::latency::{buffer_info, estimate_body, NodeEstimate};
 use crate::report::DesignEstimate;
 use crate::resource::Resources;
+use crate::shared_cache::{
+    device_fingerprint, estimate_key, SharedCacheStats, SharedEstimateCache,
+};
 use hida_dataflow_ir::graph::DataflowGraph;
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_ir_core::analysis::{AnalysisCacheStats, AnalysisManager};
 use hida_ir_core::par::run_batch;
+use hida_ir_core::Fingerprint;
 use hida_ir_core::{Context, OpId, ParallelStats};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Estimates complete designs (schedules or plain functions) on a target device.
 ///
@@ -37,17 +42,33 @@ use std::fmt;
 /// work-stealing pool over the shared read-only IR, and the computed estimates
 /// seed the memoization cache before the (sequential) schedule-level timing
 /// model reads them back.
+///
+/// For design-space sweeps, [`DataflowEstimator::with_shared_cache`] attaches
+/// a content-addressed [`SharedEstimateCache`]: local misses consult the
+/// shared cache under the node's [structural
+/// fingerprint](crate::shared_cache::estimate_fingerprint) before computing,
+/// so structurally identical nodes are estimated once *across* independent
+/// compilations.
 pub struct DataflowEstimator {
     device: FpgaDevice,
     analyses: RefCell<AnalysisManager>,
     jobs: usize,
     parallel: RefCell<ParallelStats>,
+    /// Cross-compilation estimate cache, when one is attached, plus the
+    /// precomputed fingerprint of this estimator's full device description
+    /// (part of every cache key).
+    shared: Option<(Arc<SharedEstimateCache>, Fingerprint)>,
+    /// This estimator's own traffic against the shared cache.
+    shared_traffic: RefCell<SharedCacheStats>,
 }
 
 impl Clone for DataflowEstimator {
     fn clone(&self) -> Self {
-        // The cache is an implementation detail; clones start cold.
-        DataflowEstimator::new(self.device.clone()).with_jobs(self.jobs)
+        // The per-context cache is an implementation detail; clones start with
+        // a cold local cache but keep sharing the cross-compilation cache.
+        let mut clone = DataflowEstimator::new(self.device.clone()).with_jobs(self.jobs);
+        clone.shared = self.shared.clone();
+        clone
     }
 }
 
@@ -57,6 +78,7 @@ impl fmt::Debug for DataflowEstimator {
             .field("device", &self.device)
             .field("cache", &self.analyses.borrow().stats())
             .field("jobs", &self.jobs)
+            .field("shared", &self.shared.as_ref().map(|(c, _)| c.stats()))
             .finish()
     }
 }
@@ -69,6 +91,8 @@ impl DataflowEstimator {
             analyses: RefCell::new(AnalysisManager::new()),
             jobs: 1,
             parallel: RefCell::new(ParallelStats::default()),
+            shared: None,
+            shared_traffic: RefCell::new(SharedCacheStats::default()),
         }
     }
 
@@ -84,6 +108,34 @@ impl DataflowEstimator {
     /// The configured worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Attaches a cross-compilation [`SharedEstimateCache`]: when the local
+    /// per-context memoization misses, the node's content fingerprint is
+    /// looked up in (and computed results are published to) the shared cache,
+    /// so structurally identical nodes are estimated only once across a whole
+    /// design-space sweep. Estimates are unchanged by sharing — the cache key
+    /// captures every input of the per-node model.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedEstimateCache>) -> Self {
+        self.shared = Some((cache, device_fingerprint(&self.device)));
+        self
+    }
+
+    /// The attached cross-compilation cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedEstimateCache>> {
+        self.shared.as_ref().map(|(cache, _)| cache)
+    }
+
+    /// This estimator's own hit/miss traffic against the attached shared
+    /// cache (all-zero when none is attached). The cache's
+    /// [`SharedEstimateCache::stats`] aggregates over every attached
+    /// estimator instead.
+    pub fn shared_cache_stats(&self) -> SharedCacheStats {
+        let mut stats = *self.shared_traffic.borrow();
+        if let Some((cache, _)) = &self.shared {
+            stats.entries = cache.len() as u64;
+        }
+        stats
     }
 
     /// Accumulated worker/steal counters of the parallel per-node estimation
@@ -117,13 +169,46 @@ impl DataflowEstimator {
     }
 
     /// Memoized [`estimate_body`]: the device is fixed per estimator, so the
-    /// (type, op) cache key is unambiguous within one instance.
+    /// (type, op) cache key is unambiguous within one instance. With a shared
+    /// cache attached, local misses consult it by content fingerprint before
+    /// computing.
     fn body_estimate(&self, ctx: &Context, op: OpId) -> NodeEstimate {
+        let locally_cached = self
+            .analyses
+            .borrow()
+            .cached_any::<NodeEstimate>(ctx, op)
+            .is_some();
+        if locally_cached || self.shared.is_none() {
+            return self
+                .analyses
+                .borrow_mut()
+                .get_with(ctx, op, "node-estimate", |ctx, op| {
+                    estimate_body(ctx, op, &self.device)
+                });
+        }
+        let (estimate, was_hit) = self.shared_lookup_or_compute(ctx, op);
+        self.record_shared_traffic(was_hit, 1);
         self.analyses
             .borrow_mut()
-            .get_with(ctx, op, "node-estimate", |ctx, op| {
-                estimate_body(ctx, op, &self.device)
-            })
+            .get_with(ctx, op, "node-estimate", move |_, _| estimate)
+    }
+
+    /// Consults the attached shared cache for `op`'s estimate, computing and
+    /// publishing it on a miss. Returns the estimate and whether it was a hit.
+    fn shared_lookup_or_compute(&self, ctx: &Context, op: OpId) -> (NodeEstimate, bool) {
+        let (cache, device_key) = self.shared.as_ref().expect("caller checked a cache exists");
+        shared_lookup_or_compute(cache, *device_key, ctx, op, &self.device)
+    }
+
+    /// Folds `count` lookups (hits when `hit`, misses otherwise) into this
+    /// estimator's local view of the shared-cache traffic.
+    fn record_shared_traffic(&self, hit: bool, count: u64) {
+        let mut traffic = self.shared_traffic.borrow_mut();
+        if hit {
+            traffic.hits += count;
+        } else {
+            traffic.misses += count;
+        }
     }
 
     /// The parallel half of a schedule estimate: computes every *missing*
@@ -149,11 +234,22 @@ impl DataflowEstimator {
             return;
         }
         let device = &self.device;
-        let (estimates, stats) =
-            run_batch(self.jobs, &missing, |&op| estimate_body(ctx, op, device));
+        let shared = self.shared.clone();
+        let (estimates, stats) = run_batch(self.jobs, &missing, |&op| match &shared {
+            // Workers publish computed estimates immediately, so duplicate
+            // nodes later in the same batch already hit the shared cache.
+            Some((cache, device_key)) => {
+                let (estimate, hit) = shared_lookup_or_compute(cache, *device_key, ctx, op, device);
+                (estimate, Some(hit))
+            }
+            None => (estimate_body(ctx, op, device), None),
+        });
         self.parallel.borrow_mut().accumulate(&stats);
         let mut analyses = self.analyses.borrow_mut();
-        for (&op, estimate) in missing.iter().zip(estimates) {
+        for (&op, (estimate, shared_hit)) in missing.iter().zip(estimates) {
+            if let Some(hit) = shared_hit {
+                self.record_shared_traffic(hit, 1);
+            }
             analyses.get_with(ctx, op, "node-estimate", move |_, _| estimate);
         }
     }
@@ -319,6 +415,29 @@ impl DataflowEstimator {
         let latency = path_latency.values().copied().max().unwrap_or(1).max(1);
         (interval, latency)
     }
+}
+
+/// Shared-cache lookup with compute-and-publish on miss; a free function so
+/// worker threads can run it without touching the estimator's `RefCell`s.
+/// Returns the estimate and whether it was served from the cache.
+fn shared_lookup_or_compute(
+    cache: &SharedEstimateCache,
+    device_key: Fingerprint,
+    ctx: &Context,
+    op: OpId,
+    device: &FpgaDevice,
+) -> (NodeEstimate, bool) {
+    let key = estimate_key(ctx, op, device_key);
+    if let Some(mut estimate) = cache.lookup(key) {
+        // The key deliberately ignores name attributes (so structurally
+        // repeated nodes share an entry); the display name is re-derived from
+        // the local IR, exactly as `estimate_body` would have.
+        estimate.name = crate::latency::node_name(ctx, op);
+        return (estimate, true);
+    }
+    let estimate = estimate_body(ctx, op, device);
+    cache.publish(key, estimate.clone());
+    (estimate, false)
 }
 
 fn schedule_name(ctx: &Context, op: OpId) -> String {
@@ -509,6 +628,53 @@ mod tests {
         let cloned = est.clone();
         assert_eq!(cloned.cache_stats(), AnalysisCacheStats::default());
         assert_eq!(cloned.device().name, est.device().name);
+    }
+
+    #[test]
+    fn shared_cache_reuses_estimates_across_contexts() {
+        let cache = Arc::new(SharedEstimateCache::new());
+        // Two independent compilations of the same design: separate contexts,
+        // different op numbering (the second context builds junk IR first).
+        let mut ctx_a = Context::new();
+        let schedule_a = two_node_schedule(&mut ctx_a, 1024, 2048);
+        let mut ctx_b = Context::new();
+        ctx_b.create_module("junk");
+        let schedule_b = two_node_schedule(&mut ctx_b, 1024, 2048);
+
+        let est_a = DataflowEstimator::new(FpgaDevice::zu3eg()).with_shared_cache(cache.clone());
+        let est_b = DataflowEstimator::new(FpgaDevice::zu3eg()).with_shared_cache(cache.clone());
+        let a = est_a.estimate_schedule(&ctx_a, schedule_a, true);
+        assert_eq!(est_a.shared_cache_stats().hits, 0);
+        assert_eq!(est_a.shared_cache_stats().misses, 2);
+
+        let b = est_b.estimate_schedule(&ctx_b, schedule_b, true);
+        // The second compilation's node estimates are pure shared hits, and
+        // the results are bit-identical to an isolated estimation.
+        assert_eq!(est_b.shared_cache_stats().hits, 2);
+        assert_eq!(est_b.shared_cache_stats().misses, 0);
+        assert_eq!(a.node_estimates, b.node_estimates);
+        assert_eq!(a.interval_cycles, b.interval_cycles);
+        let isolated = DataflowEstimator::new(FpgaDevice::zu3eg());
+        let reference = isolated.estimate_schedule(&ctx_b, schedule_b, true);
+        assert_eq!(reference, b);
+
+        // A design point where only the first node changed (same buffer
+        // shapes: the buffer size is the max of both nodes) re-estimates
+        // exactly that node.
+        let mut ctx_c = Context::new();
+        let schedule_c = two_node_schedule(&mut ctx_c, 2000, 2048);
+        let est_c = DataflowEstimator::new(FpgaDevice::zu3eg()).with_shared_cache(cache.clone());
+        est_c.estimate_schedule(&ctx_c, schedule_c, true);
+        let traffic = est_c.shared_cache_stats();
+        // The 2048-element node is shared; the 4096-element one is new.
+        assert_eq!(traffic.hits, 1, "{traffic:?}");
+        assert_eq!(traffic.misses, 1, "{traffic:?}");
+        assert_eq!(cache.stats().entries, 3);
+
+        // Clones keep the shared cache but reset local traffic.
+        let cloned = est_c.clone();
+        assert!(cloned.shared_cache().is_some());
+        assert_eq!(cloned.shared_cache_stats().hits, 0);
     }
 
     #[test]

@@ -328,7 +328,10 @@ pub fn estimate_profile(
     }
 }
 
-fn node_name(ctx: &Context, op: OpId) -> String {
+/// Display name of a node/task/function body, as recorded in its estimate.
+/// `pub(crate)` so the shared estimate cache can re-derive the local name
+/// when serving a structurally identical node from another compilation.
+pub(crate) fn node_name(ctx: &Context, op: OpId) -> String {
     ctx.op(op)
         .attr_str("node_name")
         .or_else(|| ctx.op(op).attr_str("task_name"))

@@ -14,7 +14,11 @@
 //! * [`dataflow`] — schedule-level throughput model with ping-pong buffers,
 //!   unbalanced-path stalls, and external-memory transfer costs,
 //! * [`report`] — the [`DesignEstimate`] summary (throughput,
-//!   DSP efficiency, utilization) reported by every benchmark harness.
+//!   DSP efficiency, utilization) reported by every benchmark harness,
+//! * [`shared_cache`] — a content-addressed [`SharedEstimateCache`] shared
+//!   *across* compilations, keyed by structural node fingerprints, so a
+//!   design-space sweep re-estimates only the nodes whose tiling or parallel
+//!   factors actually changed.
 //!
 //! Per-node estimates are memoized through the shared analysis-cache machinery
 //! and — via [`DataflowEstimator::with_jobs`](dataflow::DataflowEstimator::with_jobs)
@@ -27,9 +31,11 @@ pub mod device;
 pub mod latency;
 pub mod report;
 pub mod resource;
+pub mod shared_cache;
 
 pub use dataflow::DataflowEstimator;
 pub use device::FpgaDevice;
 pub use latency::NodeEstimate;
 pub use report::DesignEstimate;
 pub use resource::Resources;
+pub use shared_cache::{estimate_fingerprint, SharedCacheStats, SharedEstimateCache};

@@ -3,7 +3,7 @@
 //! The listing is produced by `registry_listing()` — the exact function the CLI
 //! binary prints — and pinned against `tests/snapshots/registry_listing.snap`.
 //! When a pass or option is added or reworded, regenerate the snapshot with
-//! `cargo run -p hida-opt --bin hida-opt -- --list-passes > \
+//! `cargo run -p hida --bin hida-opt -- --list-passes > \
 //!  crates/hida-opt/tests/snapshots/registry_listing.snap` and review the diff.
 
 use hida_opt::{registry, registry_listing};

@@ -40,6 +40,7 @@ pub mod builder;
 pub mod context;
 pub mod entities;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod operation;
 pub mod par;
@@ -60,6 +61,10 @@ pub use builder::OpBuilder;
 pub use context::Context;
 pub use entities::{Block, Region, Value, ValueDef};
 pub use error::{IrError, IrResult};
+pub use fingerprint::{
+    structural_fingerprint, structural_fingerprint_filtered, structural_fingerprint_with,
+    Fingerprint, StableHasher,
+};
 pub use ids::{BlockId, OpId, RegionId, ValueId};
 pub use operation::{OpName, Operation};
 pub use par::{default_jobs, AttrEdit, NodeScope, ParallelStats};
