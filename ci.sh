@@ -54,6 +54,17 @@ if [[ "${jobs1}" != "${jobs4}" ]]; then
   exit 1
 fi
 
+echo "==> bench_ir smoke: every IR micro-bench once, harness must stay alive"
+bench_ir_json=$(mktemp /tmp/BENCH_ir.XXXXXX.json)
+cargo run --release -q -p hida-bench --bin bench_ir -- \
+  --smoke --json "${bench_ir_json}"
+cat "${bench_ir_json}"
+rm -f "${bench_ir_json}"
+if [[ -f BENCH_ir.json ]]; then
+  echo "checked-in BENCH_ir.json:"
+  cat BENCH_ir.json
+fi
+
 echo "==> analysis cache effectiveness (same ablation twice; both runs must report hits)"
 for attempt in 1 2; do
   out=$(cargo run --release -q -p hida --bin hida-opt -- \

@@ -1,0 +1,233 @@
+//! IR micro-benchmark harness: raw single-compilation speed of the core hot paths.
+//!
+//! The sweep engine, the estimator, the fingerprint walk and every pass inherit
+//! the cost of `hida_ir_core`'s entity storage, so this binary times exactly
+//! those substrate paths in isolation:
+//!
+//! * `context_build/*` — front-end IR construction (op/value/attr creation and
+//!   use-list registration),
+//! * `compile_e2e/*` — one full `Compiler::compile` run (the paper's fig. 1
+//!   inner loop),
+//! * `fingerprint/*` — the structural fingerprint walk over a compiled design,
+//! * `print/*` — the textual printer over a compiled design,
+//! * `walk/*` — a pre-order traversal collecting every op,
+//! * `estimator/*` — a cold QoR estimate of a compiled schedule,
+//! * `clone_module/*` — deep-cloning a compiled module subtree.
+//!
+//! Measurements are written as JSON (`--json <path>`); pass `--baseline
+//! <prior.json>` to fold a previous run in as `baseline_ns_per_iter` plus a
+//! `speedup` ratio per bench — that merged form is what `BENCH_ir.json`
+//! checks in. `--smoke` runs every bench once for CI smoke coverage.
+//!
+//! Like the rest of the workspace the harness is dependency-free: timing is
+//! min-of-samples wall clock (robust against one-off scheduler noise on the
+//! shared CI container), JSON is hand-rolled through [`hida::sweep::json_escape`].
+
+use hida::estimator::dataflow::DataflowEstimator;
+use hida::ir::fingerprint::structural_fingerprint;
+use hida::ir::walk::collect_preorder;
+use hida::ir::{printer, Context, OpId};
+use hida::{Compiler, FpgaDevice, Model, PolybenchKernel, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured benchmark.
+struct BenchResult {
+    name: String,
+    iters: u64,
+    samples: u64,
+    ns_per_iter: f64,
+}
+
+/// Harness configuration: iteration counts collapse to 1 under `--smoke`.
+struct Harness {
+    smoke: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    fn new(smoke: bool) -> Self {
+        Harness {
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine` as `iters` iterations per sample over `samples` samples,
+    /// recording the fastest sample's mean time per iteration.
+    fn bench<O>(&mut self, name: &str, iters: u64, mut routine: impl FnMut() -> O) {
+        let (iters, samples) = if self.smoke { (1, 1) } else { (iters, 5) };
+        // Warmup: one untimed call so lazy setup (interning, allocator growth)
+        // is not billed to the first sample.
+        std::hint::black_box(routine());
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(per_iter);
+        }
+        println!("{name:<28} {best:>14.1} ns/iter  ({iters} iters x {samples} samples)");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters,
+            samples,
+            ns_per_iter: best,
+        });
+    }
+
+    fn to_json(&self, baseline: Option<&[(String, f64)]>) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench_ir/v1\",\n");
+        let _ = writeln!(
+            out,
+            "  \"mode\": \"{}\",",
+            if self.smoke { "smoke" } else { "full" }
+        );
+        out.push_str("  \"benches\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let mut line = format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"samples\": {}, \"ns_per_iter\": {:.1}",
+                hida::sweep::json_escape(&r.name),
+                r.iters,
+                r.samples,
+                r.ns_per_iter
+            );
+            if let Some(base) = baseline {
+                if let Some((_, before)) = base.iter().find(|(n, _)| n == &r.name) {
+                    let _ = write!(
+                        line,
+                        ", \"baseline_ns_per_iter\": {:.1}, \"speedup\": {:.2}",
+                        before,
+                        before / r.ns_per_iter
+                    );
+                }
+            }
+            line.push('}');
+            if i + 1 < self.results.len() {
+                line.push(',');
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Extracts `(name, ns_per_iter)` pairs from a prior `--json` output. The
+/// format is the harness's own (one bench object per line), so a line scan is
+/// a complete parser.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(ns_at) = line.find("\"ns_per_iter\": ") else {
+            continue;
+        };
+        let ns_text: String = line[ns_at + 15..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(ns) = ns_text.parse::<f64>() {
+            out.push((name, ns));
+        }
+    }
+    out
+}
+
+fn compiled(workload: Workload) -> (Context, OpId, hida::dataflow_ir::structural::ScheduleOp) {
+    let compiler = match workload {
+        Workload::Model(_) => Compiler::dnn_defaults(),
+        _ => Compiler::polybench_defaults(),
+    };
+    let result = compiler.compile(workload).expect("workload compiles");
+    (result.ctx, result.func, result.schedule)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let json_path = value_of("--json");
+    let baseline = value_of("--baseline").map(|path| {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+        parse_baseline(&text)
+    });
+
+    let mut h = Harness::new(smoke);
+
+    // --- Context construction (front-end build, no passes). -----------------
+    h.bench("context_build/resnet18", 20, || {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("resnet-18");
+        hida::frontend::nn::build_model(&mut ctx, module, Model::ResNet18);
+        ctx
+    });
+    h.bench("context_build/two_mm", 200, || {
+        let mut ctx = Context::new();
+        let module = ctx.create_module("2mm");
+        hida::frontend::polybench::build_kernel(&mut ctx, module, PolybenchKernel::TwoMm, 32);
+        ctx
+    });
+
+    // --- One full compilation (the DSE loop's unit of work). ----------------
+    let polybench = Compiler::polybench_defaults();
+    h.bench("compile_e2e/two_mm", 20, || {
+        polybench
+            .compile(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32))
+            .expect("two_mm compiles")
+    });
+
+    // --- Hot read paths over one compiled design. ---------------------------
+    let (lenet_ctx, lenet_func, lenet_schedule) = compiled(Workload::Model(Model::LeNet));
+    let module = lenet_ctx.parent_op(lenet_func).unwrap_or(lenet_func);
+    h.bench("fingerprint/lenet", 300, || {
+        structural_fingerprint(&lenet_ctx, lenet_func)
+    });
+    h.bench("print/lenet", 300, || printer::print_op(&lenet_ctx, module));
+    h.bench("walk/lenet", 2000, || collect_preorder(&lenet_ctx, module));
+    h.bench("estimator/lenet", 20, || {
+        DataflowEstimator::new(FpgaDevice::vu9p_slr()).estimate_schedule(
+            &lenet_ctx,
+            lenet_schedule,
+            true,
+        )
+    });
+
+    let (two_mm_ctx, two_mm_func, _) =
+        compiled(Workload::PolybenchSized(PolybenchKernel::TwoMm, 32));
+    h.bench("fingerprint/two_mm", 2000, || {
+        structural_fingerprint(&two_mm_ctx, two_mm_func)
+    });
+
+    // --- Whole-module deep clone (speculative DSE points). ------------------
+    let mut clone_ctx = lenet_ctx;
+    h.bench("clone_module/lenet", 50, || {
+        let mut mapping = hida::ir::context::ValueMapping::new();
+        clone_ctx.clone_op(module, &mut mapping)
+    });
+
+    let json = h.to_json(baseline.as_deref());
+    if let Some(path) = json_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("--json {path}: {e}"));
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+}

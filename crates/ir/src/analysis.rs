@@ -18,6 +18,10 @@
 //! builds a consistency check recomputes each preserved entry at pass exit and
 //! fails the pipeline when the declaration was a lie.
 
+// Cache entries are keyed by `(TypeId, OpId)` — the `TypeId` half has no dense
+// index, so this stays a hash map (cold: touched per query, not per walk step).
+#![allow(clippy::disallowed_types)]
+
 use crate::context::Context;
 use crate::error::IrError;
 use crate::ids::OpId;
@@ -191,6 +195,10 @@ struct CacheEntry {
     ctx_id: u64,
     /// [`Context::generation`] at computation (or last preservation restamp).
     generation: u64,
+    /// [`Context::op_epoch`] of the root at computation: a recycled op slot
+    /// (erase + create reusing the id) must never inherit the old op's entry,
+    /// even when a preservation declaration keeps entries across mutations.
+    epoch: u32,
     analysis: &'static str,
     /// Debug-mode recompute-and-compare; absent for closure-computed entries.
     check: Option<ConsistencyCheck>,
@@ -513,11 +521,12 @@ impl AnalysisManager {
         let ctx_id = ctx.id();
         let mut lie: Option<(String, &'static str, OpId)> = None;
         self.entries.retain(|&(type_id, root), entry| {
-            if entry.ctx_id == ctx_id && entry.generation == generation && ctx.is_alive(root) {
+            let root_intact = ctx.is_alive(root) && ctx.op_epoch(root) == entry.epoch;
+            if entry.ctx_id == ctx_id && entry.generation == generation && root_intact {
                 return true;
             }
             let preserved_by_pass = entry.ctx_id == ctx_id
-                && ctx.is_alive(root)
+                && root_intact
                 && scope
                     .as_ref()
                     .map(|s| {
@@ -566,8 +575,10 @@ impl AnalysisManager {
         let ctx_id = ctx.id();
         let mut dropped = 0_u64;
         self.entries.retain(|&(_, root), entry| {
-            let keep =
-                entry.ctx_id == ctx_id && entry.generation == generation && ctx.is_alive(root);
+            let keep = entry.ctx_id == ctx_id
+                && entry.generation == generation
+                && ctx.is_alive(root)
+                && ctx.op_epoch(root) == entry.epoch;
             if !keep {
                 dropped += 1;
             }
@@ -579,7 +590,7 @@ impl AnalysisManager {
     }
 
     fn entry_valid(&self, type_id: TypeId, root: OpId, entry: &CacheEntry, ctx: &Context) -> bool {
-        if entry.ctx_id != ctx.id() || !ctx.is_alive(root) {
+        if entry.ctx_id != ctx.id() || !ctx.is_alive(root) || ctx.op_epoch(root) != entry.epoch {
             return false;
         }
         if entry.generation == ctx.generation() {
@@ -629,6 +640,7 @@ impl AnalysisManager {
                 value,
                 ctx_id: ctx.id(),
                 generation: ctx.generation(),
+                epoch: ctx.op_epoch(root),
                 analysis: spec.name,
                 check: spec.check,
                 share: spec.share,

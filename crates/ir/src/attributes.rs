@@ -2,11 +2,13 @@
 //!
 //! Attributes model values that are "known and fixed at compile time" (paper §3.1):
 //! parallel factors, partition fashions, tile sizes, memory placements, symbol names
-//! and so on. They are stored in an ordered map on each [`Operation`] so printing is
-//! deterministic.
+//! and so on. They are stored in an [`AttrMap`] on each [`Operation`] — a small
+//! sorted vector with interned [`Symbol`] keys, iterated in key-string order so
+//! printing and fingerprinting are deterministic.
 //!
 //! [`Operation`]: crate::Operation
 
+use crate::intern::Symbol;
 use crate::types::Type;
 use std::fmt;
 
@@ -148,6 +150,135 @@ impl From<Vec<f64>> for Attribute {
 impl From<Type> for Attribute {
     fn from(v: Type) -> Self {
         Attribute::TypeAttr(v)
+    }
+}
+
+/// The named attributes of one operation: a small vector of `(interned key,
+/// value)` pairs kept sorted by the key **string** (not the symbol id, which
+/// is process-execution-dependent — see [`crate::intern`]).
+///
+/// Operations carry a handful of attributes, so a sorted vector beats a tree
+/// or hash map on every axis that matters here: lookups are a binary search
+/// over integer-tagged entries, cloning is one `memcpy`-ish `Vec` clone (hot
+/// in [`Context::clone_op`](crate::Context::clone_op) and whole-context
+/// clones), and iteration is allocation-free and already in the canonical
+/// order the printer and the fingerprint walk need.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttrMap {
+    /// Keys sorted by string, parallel to `values`. Kept separate from the
+    /// (much larger) `Attribute` payloads so a key probe scans a dense array
+    /// of small entries — the same cache-tightness a `BTreeMap` node's packed
+    /// key slab gave the old representation.
+    keys: Vec<AttrKey>,
+    /// Attribute payloads, parallel to `keys`.
+    values: Vec<Attribute>,
+}
+
+/// One attribute key: the interned symbol plus its cached resolution, so
+/// string-keyed lookups (`get("depth")` in the estimator's hot loops) are
+/// plain `&str` comparisons — no per-probe symbol resolution — while
+/// symbol-keyed lookups compare 4-byte ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AttrKey {
+    sym: Symbol,
+    text: &'static str,
+}
+
+impl AttrMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no attribute is set.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Index of `key`, if present. Operations carry a handful of attributes,
+    /// so a linear scan beats binary search here: the key array is one or two
+    /// cache lines, and `str ==` short-circuits on length before touching any
+    /// bytes (most attribute keys differ in length).
+    #[inline]
+    fn position(&self, key: &str) -> Option<usize> {
+        self.keys.iter().position(|k| k.text == key)
+    }
+
+    /// Insertion point that keeps `keys` sorted by string.
+    fn insertion_point(&self, key: &str) -> usize {
+        self.keys.partition_point(|k| k.text < key)
+    }
+
+    /// Returns the attribute stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&Attribute> {
+        self.position(key).map(|at| &self.values[at])
+    }
+
+    /// Returns the attribute stored under an already-interned key: a linear
+    /// scan comparing symbol ids — the path for hot, fixed keys.
+    pub fn get_sym(&self, key: Symbol) -> Option<&Attribute> {
+        self.keys
+            .iter()
+            .position(|k| k.sym == key)
+            .map(|at| &self.values[at])
+    }
+
+    /// True when an attribute is stored under `key`.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.position(key).is_some()
+    }
+
+    /// Inserts (or replaces) `value` under `key`, returning the previous
+    /// value if one was set.
+    pub fn insert(&mut self, key: impl AsRef<str>, value: Attribute) -> Option<Attribute> {
+        let key = key.as_ref();
+        match self.position(key) {
+            Some(at) => Some(std::mem::replace(&mut self.values[at], value)),
+            None => {
+                let at = self.insertion_point(key);
+                let sym = Symbol::intern(key);
+                self.keys.insert(
+                    at,
+                    AttrKey {
+                        sym,
+                        text: sym.as_str(),
+                    },
+                );
+                self.values.insert(at, value);
+                None
+            }
+        }
+    }
+
+    /// Removes the attribute stored under `key`, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Attribute> {
+        match self.position(key) {
+            Some(at) => {
+                self.keys.remove(at);
+                Some(self.values.remove(at))
+            }
+            None => None,
+        }
+    }
+
+    /// Iterates `(key, value)` pairs in key-string order, allocation-free.
+    /// Keys come out pre-resolved so walk-shaped consumers (printer,
+    /// fingerprint) never touch the intern table.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Attribute)> {
+        self.keys
+            .iter()
+            .zip(self.values.iter())
+            .map(|(k, v)| (k.text, v))
+    }
+
+    /// Iterates the keys in key-string order.
+    pub fn keys(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.keys.iter().map(|k| k.text)
     }
 }
 

@@ -4,6 +4,13 @@
 //! from [`crate::ids`]. Every structural mutation (operand changes, op movement,
 //! erasure, cloning) goes through the context so SSA use lists and parent links stay
 //! consistent — the invariants HIDA-OPT relies on when it rewrites dataflow graphs.
+//!
+//! Auxiliary per-entity state (use lists, liveness) is kept in dense, id-indexed
+//! side tables ([`EntityMap`]/[`EntitySet`]) rather than hash maps: entity ids
+//! *are* arena indices, so a probe is a bounds check and an indexed load. Erased
+//! operation slots go onto a free list and are recycled by the next
+//! [`Context::create_op`], keeping long rewrite pipelines from growing the op
+//! arena without bound.
 
 use crate::attributes::Attribute;
 use crate::entities::{Block, Region, Value, ValueDef};
@@ -11,8 +18,8 @@ use crate::error::{IrError, IrResult};
 use crate::ids::{BlockId, OpId, RegionId, ValueId};
 use crate::op_names;
 use crate::operation::{OpName, Operation};
+use crate::storage::{EntityMap, EntitySet};
 use crate::types::Type;
-use std::collections::HashMap;
 
 /// Arena owner of the IR. See the [module documentation](self) for an overview.
 #[derive(Debug)]
@@ -21,10 +28,22 @@ pub struct Context {
     blocks: Vec<Block>,
     regions: Vec<Region>,
     values: Vec<Value>,
-    /// Liveness flag per op (erased ops keep their slot but are marked dead).
-    op_alive: Vec<bool>,
+    /// Live operations (erased ops keep their arena slot but leave this set).
+    live_ops: EntitySet<OpId>,
+    /// Live blocks (blocks nested in erased ops leave this set).
+    live_blocks: EntitySet<BlockId>,
+    /// Live regions (regions nested in erased ops leave this set).
+    live_regions: EntitySet<RegionId>,
+    /// Live values (results and block args of erased structure leave this set).
+    live_values: EntitySet<ValueId>,
+    /// Erased op slots available for reuse by [`Context::create_op`].
+    free_ops: Vec<OpId>,
+    /// Reuse epoch per op slot, bumped at erasure: an `OpId` held across an
+    /// erasure can be told apart from the op now occupying the recycled slot
+    /// by comparing epochs (see [`Context::op_epoch`]).
+    op_epochs: Vec<u32>,
     /// Use list: value -> operations currently using it as an operand.
-    uses: HashMap<ValueId, Vec<OpId>>,
+    uses: EntityMap<ValueId, Vec<OpId>>,
     /// Process-unique context identity, so caches keyed by (context, op) can
     /// never confuse entities of two different contexts.
     id: u64,
@@ -44,18 +63,52 @@ impl Default for Context {
             blocks: Vec::new(),
             regions: Vec::new(),
             values: Vec::new(),
-            op_alive: Vec::new(),
-            uses: HashMap::new(),
+            live_ops: EntitySet::new(),
+            live_blocks: EntitySet::new(),
+            live_regions: EntitySet::new(),
+            live_values: EntitySet::new(),
+            free_ops: Vec::new(),
+            op_epochs: Vec::new(),
+            uses: EntityMap::new(),
             id: NEXT_CONTEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             generation: 0,
         }
     }
 }
 
+impl Clone for Context {
+    /// Clones the whole IR. All entity ids remain valid in the clone (the
+    /// arenas are flat `Vec`s, so this is a handful of memcpy-style clones —
+    /// no per-entity rebuilding), and the clone observes the same generation,
+    /// so fingerprints and printed IR of the clone are byte-identical to the
+    /// original. Only the context *identity* is fresh: caches keyed by
+    /// `(context id, entity)` must not confuse the copy with the original.
+    fn clone(&self) -> Self {
+        Context {
+            ops: self.ops.clone(),
+            blocks: self.blocks.clone(),
+            regions: self.regions.clone(),
+            values: self.values.clone(),
+            live_ops: self.live_ops.clone(),
+            live_blocks: self.live_blocks.clone(),
+            live_regions: self.live_regions.clone(),
+            live_values: self.live_values.clone(),
+            free_ops: self.free_ops.clone(),
+            op_epochs: self.op_epochs.clone(),
+            uses: self.uses.clone(),
+            id: NEXT_CONTEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            generation: self.generation,
+        }
+    }
+}
+
 /// A mapping from old values to new values used while cloning IR.
+///
+/// Backed by a dense [`EntityMap`], so [`ValueMapping::lookup`] — the innermost
+/// operation of every IR clone — is an indexed load, not a hash probe.
 #[derive(Debug, Default, Clone)]
 pub struct ValueMapping {
-    map: HashMap<ValueId, ValueId>,
+    map: EntityMap<ValueId, ValueId>,
 }
 
 impl ValueMapping {
@@ -70,13 +123,14 @@ impl ValueMapping {
     }
 
     /// Looks up a value, returning the original when no mapping exists.
+    #[inline]
     pub fn lookup(&self, v: ValueId) -> ValueId {
-        *self.map.get(&v).unwrap_or(&v)
+        self.map.get(v).copied().unwrap_or(v)
     }
 
     /// Returns true if `v` has an explicit mapping.
     pub fn contains(&self, v: ValueId) -> bool {
-        self.map.contains_key(&v)
+        self.map.contains(v)
     }
 }
 
@@ -165,13 +219,71 @@ impl Context {
     }
 
     /// Returns true when the op has not been erased.
+    #[inline]
     pub fn is_alive(&self, id: OpId) -> bool {
-        self.op_alive.get(id.index()).copied().unwrap_or(false)
+        self.live_ops.contains(id)
     }
 
-    /// Total number of live operations (for statistics and tests).
+    /// Returns true when the block has not been erased with its owner.
+    pub fn is_block_alive(&self, id: BlockId) -> bool {
+        self.live_blocks.contains(id)
+    }
+
+    /// Returns true when the region has not been erased with its owner.
+    pub fn is_region_alive(&self, id: RegionId) -> bool {
+        self.live_regions.contains(id)
+    }
+
+    /// Returns true when the value's defining structure has not been erased.
+    pub fn is_value_alive(&self, id: ValueId) -> bool {
+        self.live_values.contains(id)
+    }
+
+    /// Total number of live operations — O(1), tracked by the liveness set.
     pub fn num_live_ops(&self) -> usize {
-        self.op_alive.iter().filter(|&&a| a).count()
+        self.live_ops.len()
+    }
+
+    /// Total number of live blocks.
+    pub fn num_live_blocks(&self) -> usize {
+        self.live_blocks.len()
+    }
+
+    /// Total number of live regions.
+    pub fn num_live_regions(&self) -> usize {
+        self.live_regions.len()
+    }
+
+    /// Total number of live values.
+    pub fn num_live_values(&self) -> usize {
+        self.live_values.len()
+    }
+
+    /// Number of erased op slots currently queued for reuse.
+    pub fn free_op_slots(&self) -> usize {
+        self.free_ops.len()
+    }
+
+    /// Reuse epoch of an op slot: 0 for a never-erased slot, bumped every time
+    /// the slot's op is erased. Code holding an `OpId` across mutations (e.g.
+    /// the analysis cache) records `(id, epoch)` and treats an epoch mismatch
+    /// as "the op this id referred to no longer exists" — [`Context::is_alive`]
+    /// alone cannot tell a recycled slot from the original op.
+    #[inline]
+    pub fn op_epoch(&self, id: OpId) -> u32 {
+        self.op_epochs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Arena sizes `(ops, blocks, regions, values)` including dead slots —
+    /// together with the `num_live_*` counters this exposes the dead-slot
+    /// counts per entity kind.
+    pub fn arena_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.ops.len(),
+            self.blocks.len(),
+            self.regions.len(),
+            self.values.len(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -180,14 +292,26 @@ impl Context {
 
     /// Allocates a new operation from a detached [`Operation`] payload and registers
     /// the uses of its operands. The operation is not attached to any block yet.
+    ///
+    /// Erased op slots are recycled: if [`Context::erase_op`] freed a slot, the
+    /// new op takes over its id (use lists for erased ops are scrubbed at
+    /// erasure, so a recycled id can never inherit stale uses).
     pub fn create_op(&mut self, op: Operation) -> OpId {
         self.bump_generation();
-        let id = OpId::from_index(self.ops.len());
+        let id = match self.free_ops.pop() {
+            Some(id) => id,
+            None => OpId::from_index(self.ops.len()),
+        };
         for &operand in &op.operands {
-            self.uses.entry(operand).or_default().push(id);
+            self.uses.get_or_default(operand).push(id);
         }
-        self.ops.push(op);
-        self.op_alive.push(true);
+        if id.index() == self.ops.len() {
+            self.ops.push(op);
+            self.op_epochs.push(0);
+        } else {
+            self.ops[id.index()] = op;
+        }
+        self.live_ops.insert(id);
         id
     }
 
@@ -199,6 +323,7 @@ impl Context {
             blocks: Vec::new(),
             parent_op: Some(parent),
         });
+        self.live_regions.insert(id);
         self.ops[parent.index()].regions.push(id);
         id
     }
@@ -212,6 +337,7 @@ impl Context {
             ops: Vec::new(),
             parent_region: Some(region),
         });
+        self.live_blocks.insert(id);
         self.regions[region.index()].blocks.push(id);
         id
     }
@@ -226,6 +352,7 @@ impl Context {
             ty,
             name_hint: None,
         });
+        self.live_values.insert(vid);
         self.ops[op.index()].results.push(vid);
         vid
     }
@@ -240,6 +367,7 @@ impl Context {
             ty,
             name_hint: None,
         });
+        self.live_values.insert(vid);
         self.blocks[block.index()].args.push(vid);
         vid
     }
@@ -331,7 +459,7 @@ impl Context {
     pub fn add_operand(&mut self, op: OpId, value: ValueId) {
         self.bump_generation();
         self.ops[op.index()].operands.push(value);
-        self.uses.entry(value).or_default().push(op);
+        self.uses.get_or_default(value).push(op);
     }
 
     /// Replaces operand `index` of `op` with `value`, keeping use lists consistent.
@@ -343,7 +471,7 @@ impl Context {
         self.bump_generation();
         self.ops[op.index()].operands[index] = value;
         self.remove_use(old, op);
-        self.uses.entry(value).or_default().push(op);
+        self.uses.get_or_default(value).push(op);
     }
 
     /// Removes all operands of `op`, updating the use lists.
@@ -356,7 +484,7 @@ impl Context {
     }
 
     fn remove_use(&mut self, value: ValueId, user: OpId) {
-        if let Some(list) = self.uses.get_mut(&value) {
+        if let Some(list) = self.uses.get_mut(value) {
             if let Some(pos) = list.iter().position(|&o| o == user) {
                 list.remove(pos);
             }
@@ -366,14 +494,10 @@ impl Context {
     /// Returns the (deduplicated) list of live operations that use `value` as an
     /// operand, in arena order.
     pub fn users_of(&self, value: ValueId) -> Vec<OpId> {
-        let mut users: Vec<OpId> = self
-            .uses
-            .get(&value)
-            .cloned()
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|&o| self.is_alive(o))
-            .collect();
+        let mut users: Vec<OpId> = match self.uses.get(value) {
+            Some(list) => list.iter().copied().filter(|&o| self.is_alive(o)).collect(),
+            None => Vec::new(),
+        };
         users.sort();
         users.dedup();
         users
@@ -381,7 +505,9 @@ impl Context {
 
     /// Returns true if `value` has at least one live user.
     pub fn has_users(&self, value: ValueId) -> bool {
-        !self.users_of(value).is_empty()
+        self.uses
+            .get(value)
+            .is_some_and(|list| list.iter().any(|&o| self.is_alive(o)))
     }
 
     /// Replaces every use of `old` with `new` across the whole context.
@@ -554,6 +680,9 @@ impl Context {
     // ------------------------------------------------------------------
 
     /// Erases `op`, its results' use records, and everything nested inside it.
+    /// The op's arena slot is pushed onto the free list for reuse by a later
+    /// [`Context::create_op`]; its results, regions, blocks and block args are
+    /// marked dead.
     ///
     /// The caller is responsible for ensuring the results of `op` are no longer used
     /// (the verifier will flag dangling uses otherwise).
@@ -573,10 +702,22 @@ impl Context {
                     self.erase_op(nested);
                 }
                 self.blocks[block.index()].ops.clear();
+                for index in 0..self.blocks[block.index()].args.len() {
+                    let arg = self.blocks[block.index()].args[index];
+                    self.live_values.remove(arg);
+                }
+                self.live_blocks.remove(block);
             }
+            self.live_regions.remove(region);
         }
         self.clear_operands(op);
-        self.op_alive[op.index()] = false;
+        for index in 0..self.ops[op.index()].results.len() {
+            let result = self.ops[op.index()].results[index];
+            self.live_values.remove(result);
+        }
+        self.live_ops.remove(op);
+        self.op_epochs[op.index()] = self.op_epochs[op.index()].wrapping_add(1);
+        self.free_ops.push(op);
     }
 
     // ------------------------------------------------------------------
@@ -590,14 +731,24 @@ impl Context {
     /// The clone is created detached; attach it with [`Context::append_op`] or one of
     /// the movement helpers.
     pub fn clone_op(&mut self, op: OpId, mapping: &mut ValueMapping) -> OpId {
-        let src = self.ops[op.index()].clone();
-        let mut new_op = Operation::new(src.name.clone());
-        new_op.attributes = src.attributes.clone();
-        new_op.isolated = src.isolated;
-        new_op.operands = src.operands.iter().map(|&v| mapping.lookup(v)).collect();
-        let new_id = self.create_op(new_op);
+        let src = &self.ops[op.index()];
+        let name = src.name;
+        let isolated = src.isolated;
+        let attributes = src.attributes.clone();
+        let operands: Vec<ValueId> = src.operands.iter().map(|&v| mapping.lookup(v)).collect();
+        let src_results = src.results.clone();
+        let src_regions = src.regions.clone();
+        let new_id = self.create_op(Operation {
+            name,
+            operands,
+            results: Vec::new(),
+            attributes,
+            regions: Vec::new(),
+            parent_block: None,
+            isolated,
+        });
         // Results.
-        for &res in &src.results {
+        for &res in &src_results {
             let ty = self.values[res.index()].ty.clone();
             let new_res = self.add_result(new_id, ty);
             if let Some(hint) = self.values[res.index()].name_hint.clone() {
@@ -606,7 +757,7 @@ impl Context {
             mapping.map(res, new_res);
         }
         // Regions.
-        for region in src.regions {
+        for region in src_regions {
             let new_region = self.create_region(new_id);
             let blocks = self.regions[region.index()].blocks.clone();
             for block in blocks {
@@ -673,6 +824,9 @@ impl Context {
     /// used by tests and the verifier.
     pub fn check_parent_links(&self) -> IrResult<()> {
         for (i, block) in self.blocks.iter().enumerate() {
+            if !self.is_block_alive(BlockId::from_index(i)) {
+                continue;
+            }
             for &op in &block.ops {
                 if self.ops[op.index()].parent_block != Some(BlockId::from_index(i)) {
                     return Err(IrError::verification(format!(
@@ -682,6 +836,9 @@ impl Context {
             }
         }
         for (i, region) in self.regions.iter().enumerate() {
+            if !self.is_region_alive(RegionId::from_index(i)) {
+                continue;
+            }
             for &block in &region.blocks {
                 if self.blocks[block.index()].parent_region != Some(RegionId::from_index(i)) {
                     return Err(IrError::verification(format!(
@@ -775,6 +932,75 @@ mod tests {
         // Erasing the func erases everything nested inside it.
         ctx.erase_op(func);
         assert!(!ctx.is_alive(ctx.value(c0).defining_op().unwrap()));
+    }
+
+    #[test]
+    fn erase_op_recycles_slots_and_tracks_liveness() {
+        let mut ctx = Context::new();
+        let (_, func, c0, _) = simple_module(&mut ctx);
+        let body = ctx.body_block(func);
+        let (add, add_res) =
+            ctx.build_op(body, "arith.addi", vec![c0, c0], vec![Type::i32()], vec![]);
+        let values_before = ctx.num_live_values();
+        assert!(ctx.is_value_alive(add_res[0]));
+        ctx.erase_op(add);
+        assert_eq!(ctx.free_op_slots(), 1);
+        assert!(!ctx.is_value_alive(add_res[0]));
+        assert_eq!(ctx.num_live_values(), values_before - 1);
+
+        // The next create_op takes over the freed slot: same id, no arena growth.
+        let (ops_len_before, ..) = ctx.arena_sizes();
+        let (mul, _) = ctx.build_op(body, "arith.muli", vec![c0, c0], vec![Type::i32()], vec![]);
+        assert_eq!(mul, add);
+        assert!(ctx.is_alive(mul));
+        assert_eq!(ctx.free_op_slots(), 0);
+        assert_eq!(ctx.arena_sizes().0, ops_len_before);
+        // The recycled op's use records are fresh — exactly one user of c0.
+        assert_eq!(ctx.users_of(c0), vec![mul]);
+    }
+
+    #[test]
+    fn erase_op_marks_nested_structure_dead() {
+        let mut ctx = Context::new();
+        let (_, func, c0, c1) = simple_module(&mut ctx);
+        let body = ctx.body_block(func);
+        let (wrapper, _) = ctx.build_op(body, "hida.task", vec![], vec![], vec![]);
+        let region = ctx.create_region(wrapper);
+        let inner_block = ctx.create_block(region);
+        let arg = ctx.add_block_arg(inner_block, Type::i32());
+        ctx.build_op(
+            inner_block,
+            "arith.addi",
+            vec![c0, c1],
+            vec![Type::i32()],
+            vec![],
+        );
+        assert!(ctx.is_region_alive(region));
+        assert!(ctx.is_block_alive(inner_block));
+        assert!(ctx.is_value_alive(arg));
+
+        let (blocks_live, regions_live) = (ctx.num_live_blocks(), ctx.num_live_regions());
+        ctx.erase_op(wrapper);
+        assert!(!ctx.is_region_alive(region));
+        assert!(!ctx.is_block_alive(inner_block));
+        assert!(!ctx.is_value_alive(arg));
+        assert_eq!(ctx.num_live_blocks(), blocks_live - 1);
+        assert_eq!(ctx.num_live_regions(), regions_live - 1);
+        assert!(ctx.check_parent_links().is_ok());
+    }
+
+    #[test]
+    fn clone_context_preserves_ir_and_mints_fresh_identity() {
+        let mut ctx = Context::new();
+        let (module, ..) = simple_module(&mut ctx);
+        let copy = ctx.clone();
+        assert_ne!(ctx.id(), copy.id());
+        assert_eq!(ctx.generation(), copy.generation());
+        assert_eq!(ctx.num_live_ops(), copy.num_live_ops());
+        assert_eq!(
+            crate::printer::print_op(&ctx, module),
+            crate::printer::print_op(&copy, module)
+        );
     }
 
     #[test]

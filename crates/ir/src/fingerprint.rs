@@ -33,7 +33,7 @@
 use crate::attributes::Attribute;
 use crate::context::Context;
 use crate::ids::{OpId, ValueId};
-use std::collections::HashMap;
+use crate::storage::EntityMap;
 use std::fmt;
 
 /// A 128-bit content hash of an op subtree. Two lanes of 64 bits are mixed
@@ -184,8 +184,8 @@ pub fn structural_fingerprint_filtered(
     let mut walker = Walker {
         ctx,
         hasher: StableHasher::new(),
-        locals: HashMap::new(),
-        externals: HashMap::new(),
+        locals: EntityMap::new(),
+        externals: EntityMap::new(),
         keep_attr,
         external,
     };
@@ -197,9 +197,10 @@ struct Walker<'c, K, F> {
     ctx: &'c Context,
     hasher: StableHasher,
     /// Values defined inside the subtree -> local ordinal (walk order).
-    locals: HashMap<ValueId, u64>,
+    /// Dense over the value arena: probes are indexed loads, not hash lookups.
+    locals: EntityMap<ValueId, u64>,
     /// Values defined outside the subtree -> external ordinal (first-use order).
-    externals: HashMap<ValueId, u64>,
+    externals: EntityMap<ValueId, u64>,
     keep_attr: K,
     external: F,
 }
@@ -211,13 +212,13 @@ impl<K: Fn(&str) -> bool, F: FnMut(&mut StableHasher, ValueId)> Walker<'_, K, F>
     }
 
     fn hash_value_use(&mut self, value: ValueId) {
-        if let Some(&ordinal) = self.locals.get(&value) {
+        if let Some(&ordinal) = self.locals.get(value) {
             self.hasher.write_u64(0);
             self.hasher.write_u64(ordinal);
             return;
         }
         self.hasher.write_u64(1);
-        match self.externals.get(&value) {
+        match self.externals.get(value) {
             Some(&ordinal) => self.hasher.write_u64(ordinal),
             None => {
                 let ordinal = self.externals.len() as u64;
@@ -291,16 +292,21 @@ impl<K: Fn(&str) -> bool, F: FnMut(&mut StableHasher, ValueId)> Walker<'_, K, F>
         self.hasher.write_str(data.name.as_str());
         self.hasher.write_u64(data.isolated as u64);
 
-        // Attributes live in a BTreeMap, so iteration order is canonical.
-        let kept: Vec<(&String, &Attribute)> = data
+        // Attribute iteration is in key-string order (the AttrMap invariant),
+        // so the serialization is canonical. Counting first and hashing second
+        // keeps the walk allocation-free; keys arrive pre-resolved so the byte
+        // stream is independent of symbol ids.
+        let kept = data
             .attributes
             .iter()
             .filter(|(key, _)| (self.keep_attr)(key))
-            .collect();
-        self.hasher.write_u64(kept.len() as u64);
-        for (key, value) in kept {
-            self.hasher.write_str(key);
-            self.hash_attr(value);
+            .count();
+        self.hasher.write_u64(kept as u64);
+        for (key, value) in data.attributes.iter() {
+            if (self.keep_attr)(key) {
+                self.hasher.write_str(key);
+                self.hash_attr(value);
+            }
         }
 
         self.hasher.write_u64(data.operands.len() as u64);

@@ -1,0 +1,247 @@
+//! String interning: copyable [`Symbol`] ids for op names and attribute keys.
+//!
+//! Operation names and attribute keys come from a small, heavily repeated
+//! vocabulary (`"affine.for"`, `"parallel_factor"`, ...), yet the IR used to
+//! store each occurrence as an owned `String` — every op creation allocated,
+//! every comparison walked bytes, every map probe hashed the full string.
+//! Interning replaces that with a process-wide table that assigns each
+//! distinct string a dense `u32` id once; everything downstream carries the
+//! copyable [`Symbol`] and compares/hashes a single integer.
+//!
+//! # Id stability rules
+//!
+//! Symbol ids are assigned in first-intern order, which depends on execution
+//! order (worker threads may intern concurrently). Therefore:
+//!
+//! * a `Symbol` may be compared for **equality** freely — equal ids ⇔ equal
+//!   strings, within one process;
+//! * anything **ordered or persisted** (printed IR, fingerprints, sorted
+//!   attribute iteration, on-disk caches) must resolve the symbol and use the
+//!   string. `Symbol` deliberately implements neither `Ord` nor
+//!   `PartialOrd` so an id-order sort cannot creep in silently.
+//!
+//! Resolution ([`Symbol::as_str`]) is lock-free: interned strings are
+//! published into a chunked table of `OnceLock` slots, so hot paths (the
+//! printer, the fingerprint walk) pay two atomic loads, never a lock. The
+//! write path (first intern of a new string) takes a mutex, which op-creation
+//! frequency comfortably amortizes.
+//!
+//! [`InternTable`] is the reusable building block: a self-contained
+//! string-to-id map used by the global interner and directly by property
+//! tests. Symbols minted by a standalone table are **not** resolvable through
+//! [`Symbol::as_str`] — resolve them with [`InternTable::resolve`].
+
+// The dedup map is the one legitimate string-keyed hash map in this crate:
+// it is touched once per *distinct* string, not once per entity or walk step.
+#![allow(clippy::disallowed_types)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Interned string id: 4 bytes, `Copy`, integer equality/hash.
+///
+/// See the [module documentation](self) for the id stability rules —
+/// equality is always safe, ordering must go through the resolved string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+const CHUNK: usize = 1024;
+const MAX_CHUNKS: usize = 4096;
+
+/// Lock-free resolution table: `CHUNKS[id / CHUNK][id % CHUNK]` holds the
+/// interned string. Slots are published exactly once, under the global
+/// intern mutex, before the `Symbol` ever escapes.
+static CHUNKS: [OnceLock<Vec<OnceLock<&'static str>>>; MAX_CHUNKS] =
+    [const { OnceLock::new() }; MAX_CHUNKS];
+
+static GLOBAL: OnceLock<Mutex<InternTable>> = OnceLock::new();
+
+fn global() -> &'static Mutex<InternTable> {
+    GLOBAL.get_or_init(|| Mutex::new(InternTable::new()))
+}
+
+impl Symbol {
+    /// Interns `text` in the process-wide table, returning its dense id.
+    /// Re-interning an already-known string is a hash lookup, no allocation.
+    pub fn intern(text: &str) -> Symbol {
+        let mut table = global().lock().expect("interner poisoned");
+        let before = table.len();
+        let sym = table.intern(text);
+        if table.len() != before {
+            // Fresh string: publish it for lock-free resolution before the
+            // symbol escapes the mutex.
+            let index = sym.0 as usize;
+            let chunk = CHUNKS[index / CHUNK].get_or_init(|| vec![OnceLock::new(); CHUNK]);
+            chunk[index % CHUNK]
+                .set(table.resolve(sym))
+                .expect("symbol slot published twice");
+        }
+        sym
+    }
+
+    /// The raw dense id (also the index into the global resolution table).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Resolves the symbol to its string, lock-free.
+    ///
+    /// # Panics
+    /// Panics when the symbol was not minted by [`Symbol::intern`] (e.g. it
+    /// came from a standalone [`InternTable`], which owns its own ids).
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        self.try_as_str()
+            .expect("Symbol not minted by the global interner")
+    }
+
+    /// Resolves the symbol to its string, returning `None` for ids the
+    /// global interner never minted.
+    #[inline]
+    pub fn try_as_str(self) -> Option<&'static str> {
+        let index = self.0 as usize;
+        CHUNKS
+            .get(index / CHUNK)?
+            .get()?
+            .get(index % CHUNK)?
+            .get()
+            .copied()
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_as_str() {
+            Some(text) => write!(f, "Symbol({:?})", text),
+            None => write!(f, "Symbol(#{})", self.0),
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_as_str() {
+            Some(text) => f.write_str(text),
+            None => write!(f, "#{}", self.0),
+        }
+    }
+}
+
+/// A string-to-dense-id intern table.
+///
+/// The process-wide instance behind [`Symbol::intern`] is built from this;
+/// standalone instances are useful wherever a private dense id space over
+/// strings is needed (and in the property tests that check interning against
+/// a hash-map model). Interned strings are leaked — the vocabulary is small
+/// and lives for the process anyway.
+///
+/// ```
+/// use hida_ir_core::intern::InternTable;
+///
+/// let mut table = InternTable::new();
+/// let a = table.intern("affine.for");
+/// let b = table.intern("affine.for");
+/// let c = table.intern("affine.if");
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// assert_eq!(table.resolve(a), "affine.for");
+/// assert_eq!(table.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct InternTable {
+    map: HashMap<&'static str, Symbol>,
+    entries: Vec<&'static str>,
+}
+
+impl InternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, allocating a new id for a never-seen string.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(text) {
+            return sym;
+        }
+        let owned: &'static str = Box::leak(text.to_string().into_boxed_str());
+        let sym = Symbol(
+            u32::try_from(self.entries.len()).expect("intern table overflow (2^32 strings)"),
+        );
+        self.entries.push(owned);
+        self.map.insert(owned, sym);
+        sym
+    }
+
+    /// Returns the id of `text` without interning it.
+    pub fn lookup(&self, text: &str) -> Option<Symbol> {
+        self.map.get(text).copied()
+    }
+
+    /// Resolves an id minted by **this** table.
+    ///
+    /// # Panics
+    /// Panics when `sym` was not minted by this table.
+    pub fn resolve(&self, sym: Symbol) -> &'static str {
+        self.entries[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_interning_dedups_and_resolves() {
+        let a = Symbol::intern("intern.test.alpha");
+        let b = Symbol::intern("intern.test.alpha");
+        let c = Symbol::intern("intern.test.beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "intern.test.alpha");
+        assert_eq!(c.as_str(), "intern.test.beta");
+        assert_eq!(a.to_string(), "intern.test.alpha");
+        assert!(format!("{a:?}").contains("intern.test.alpha"));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_ids() {
+        let names: Vec<String> = (0..64).map(|i| format!("intern.test.race{i}")).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let names = names.clone();
+                std::thread::spawn(move || {
+                    names.iter().map(|n| Symbol::intern(n)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for per_thread in &all[1..] {
+            assert_eq!(per_thread, &all[0]);
+        }
+        for (name, &sym) in names.iter().zip(&all[0]) {
+            assert_eq!(sym.as_str(), name.as_str());
+        }
+    }
+
+    #[test]
+    fn standalone_table_ids_are_table_scoped() {
+        let mut table = InternTable::new();
+        let sym = table.intern("only.in.this.table");
+        assert_eq!(table.resolve(sym), "only.in.this.table");
+        assert_eq!(table.lookup("only.in.this.table"), Some(sym));
+        assert_eq!(table.lookup("never.interned"), None);
+    }
+}

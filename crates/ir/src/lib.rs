@@ -42,6 +42,7 @@ pub mod entities;
 pub mod error;
 pub mod fingerprint;
 pub mod ids;
+pub mod intern;
 pub mod operation;
 pub mod par;
 pub mod parse;
@@ -49,6 +50,7 @@ pub mod pass;
 pub mod printer;
 pub mod registry;
 pub mod rewrite;
+pub mod storage;
 pub mod types;
 pub mod verifier;
 pub mod walk;
@@ -56,7 +58,7 @@ pub mod walk;
 pub use analysis::{
     Analysis, AnalysisCacheStats, AnalysisManager, AnalysisSnapshot, PreservedAnalyses,
 };
-pub use attributes::Attribute;
+pub use attributes::{AttrMap, Attribute};
 pub use builder::OpBuilder;
 pub use context::Context;
 pub use entities::{Block, Region, Value, ValueDef};
@@ -66,12 +68,14 @@ pub use fingerprint::{
     Fingerprint, StableHasher,
 };
 pub use ids::{BlockId, OpId, RegionId, ValueId};
+pub use intern::{InternTable, Symbol};
 pub use operation::{OpName, Operation};
 pub use par::{default_jobs, AttrEdit, NodeScope, ParallelStats};
 pub use parse::{parse_pipeline, print_pipeline, PassInvocation, PipelineParseError};
 pub use pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
 pub use registry::{OptionSpec, PassRegistry, PassSpec, PipelineError};
 pub use rewrite::{apply_patterns_greedily, RewritePattern};
+pub use storage::{EntityMap, EntitySet};
 pub use types::Type;
 pub use walk::{walk_ops_postorder, walk_ops_preorder, WalkOrder};
 

@@ -4,40 +4,96 @@
 //! attributes, and may own nested regions. Operations are stored in and identified
 //! through the [`Context`](crate::Context); this module defines their payload.
 
-use crate::attributes::Attribute;
+use crate::attributes::{AttrMap, Attribute};
 use crate::ids::{BlockId, RegionId, ValueId};
-use std::collections::BTreeMap;
+use crate::intern::Symbol;
 use std::fmt;
 
 /// Fully-qualified name of an operation, e.g. `"hida.node"` or `"affine.for"`.
 ///
-/// Names use the MLIR convention `dialect.op`. The type is a thin wrapper over a
-/// `String` so dialect crates can define their names as `&str` constants.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OpName(String);
+/// Names use the MLIR convention `dialect.op`. The type is a copyable wrapper
+/// over an interned [`Symbol`], so name comparisons are single integer
+/// compares and creating an operation with a known name allocates nothing.
+/// The resolved string is cached alongside the symbol, so `as_str` (the
+/// workhorse of `Operation::is` and every name `match`) is a field read, not
+/// an intern-table resolution. Ordering (`Ord`) follows the resolved string,
+/// never the symbol id, so name-sorted output stays deterministic across
+/// processes.
+#[derive(Clone, Copy)]
+pub struct OpName {
+    sym: Symbol,
+    text: &'static str,
+}
 
 impl OpName {
-    /// Creates an operation name from its fully-qualified string form.
-    pub fn new(name: impl Into<String>) -> Self {
-        OpName(name.into())
+    /// Creates (interning on first sight) an operation name from its
+    /// fully-qualified string form.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let sym = Symbol::intern(name.as_ref());
+        OpName {
+            sym,
+            text: sym.as_str(),
+        }
     }
 
     /// Returns the fully-qualified name (`dialect.op`).
-    pub fn as_str(&self) -> &str {
-        &self.0
+    #[inline]
+    pub fn as_str(&self) -> &'static str {
+        self.text
+    }
+
+    /// Returns the interned symbol behind this name.
+    pub fn symbol(&self) -> Symbol {
+        self.sym
     }
 
     /// Returns the dialect namespace prefix (the part before the first `.`).
     pub fn dialect(&self) -> &str {
-        self.0.split('.').next().unwrap_or(&self.0)
+        let text = self.as_str();
+        text.split('.').next().unwrap_or(text)
     }
 
     /// Returns the bare operation name (the part after the first `.`).
     pub fn op(&self) -> &str {
-        match self.0.split_once('.') {
+        let text = self.as_str();
+        match text.split_once('.') {
             Some((_, op)) => op,
-            None => &self.0,
+            None => text,
         }
+    }
+}
+
+impl fmt::Debug for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpName({:?})", self.as_str())
+    }
+}
+
+impl PartialEq for OpName {
+    fn eq(&self, other: &Self) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for OpName {}
+
+impl std::hash::Hash for OpName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl PartialOrd for OpName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Symbol ids are first-intern-ordered (nondeterministic under
+        // threaded interning); the string is the canonical order.
+        self.as_str().cmp(other.as_str())
     }
 }
 
@@ -53,15 +109,24 @@ impl From<String> for OpName {
     }
 }
 
+impl From<Symbol> for OpName {
+    fn from(sym: Symbol) -> Self {
+        OpName {
+            sym,
+            text: sym.as_str(),
+        }
+    }
+}
+
 impl fmt::Display for OpName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        f.write_str(self.as_str())
     }
 }
 
 impl PartialEq<&str> for OpName {
     fn eq(&self, other: &&str) -> bool {
-        self.0 == *other
+        self.as_str() == *other
     }
 }
 
@@ -72,14 +137,15 @@ impl PartialEq<&str> for OpName {
 /// and mutate through context APIs.
 #[derive(Debug, Clone)]
 pub struct Operation {
-    /// Fully-qualified operation name.
+    /// Fully-qualified operation name (interned, copyable).
     pub name: OpName,
     /// SSA operands consumed by this operation, in order.
     pub operands: Vec<ValueId>,
     /// SSA results produced by this operation, in order.
     pub results: Vec<ValueId>,
-    /// Named compile-time attributes (ordered for deterministic printing).
-    pub attributes: BTreeMap<String, Attribute>,
+    /// Named compile-time attributes (interned keys, key-string iteration
+    /// order for deterministic printing).
+    pub attributes: AttrMap,
     /// Nested regions owned by this operation.
     pub regions: Vec<RegionId>,
     /// Block containing this operation, if attached.
@@ -99,7 +165,7 @@ impl Operation {
             name: name.into(),
             operands: Vec::new(),
             results: Vec::new(),
-            attributes: BTreeMap::new(),
+            attributes: AttrMap::new(),
             regions: Vec::new(),
             parent_block: None,
             isolated: false,
@@ -135,8 +201,8 @@ impl Operation {
     }
 
     /// Sets (or replaces) the attribute stored under `key`.
-    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<Attribute>) {
-        self.attributes.insert(key.into(), value.into());
+    pub fn set_attr(&mut self, key: impl AsRef<str>, value: impl Into<Attribute>) {
+        self.attributes.insert(key, value.into());
     }
 
     /// Removes the attribute stored under `key`, returning it if present.
@@ -147,6 +213,12 @@ impl Operation {
     /// Returns true if this operation's name equals `name`.
     pub fn is(&self, name: &str) -> bool {
         self.name.as_str() == name
+    }
+
+    /// Returns true if this operation's name equals the interned `name` — a
+    /// single integer compare, the hot-loop variant of [`Operation::is`].
+    pub fn is_sym(&self, name: Symbol) -> bool {
+        self.name.symbol() == name
     }
 
     /// Returns true if this operation belongs to the given dialect namespace.
@@ -172,6 +244,16 @@ mod tests {
     }
 
     #[test]
+    fn op_name_is_copyable_and_string_ordered() {
+        let a = OpName::new("zeta.op");
+        let b = OpName::new("alpha.op");
+        let copied = a; // Copy, no clone needed
+        assert_eq!(copied, a);
+        assert!(b < a, "ordering must follow the string, not intern order");
+        assert_eq!(a.symbol(), OpName::new("zeta.op").symbol());
+    }
+
+    #[test]
     fn attribute_accessors() {
         let mut op = Operation::new("affine.for");
         op.set_attr("lower_bound", 0_i64);
@@ -187,11 +269,23 @@ mod tests {
         assert!(op.has_flag("pipeline"));
         assert!(!op.has_flag("unroll"));
         assert!(op.is("affine.for"));
+        assert!(op.is_sym(Symbol::intern("affine.for")));
+        assert!(!op.is_sym(Symbol::intern("affine.if")));
         assert!(op.in_dialect("affine"));
         assert!(!op.in_dialect("hida"));
 
         assert!(op.remove_attr("pipeline").is_some());
         assert!(!op.has_flag("pipeline"));
+    }
+
+    #[test]
+    fn attributes_iterate_in_key_string_order() {
+        let mut op = Operation::new("test.op");
+        op.set_attr("zeta", 1_i64);
+        op.set_attr("alpha", 2_i64);
+        op.set_attr("mid", 3_i64);
+        let keys: Vec<&str> = op.attributes.keys().collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! (e.g. a `ScheduleOp`) and every later pass retrieves it by type, which keeps the
 //! `Pass` trait itself independent of any particular dialect crate.
 
+// `PipelineState` slots are keyed by `TypeId`, which has no dense index; the
+// map is touched a handful of times per pass, never inside an IR walk.
+#![allow(clippy::disallowed_types)]
+
 use crate::analysis::{AnalysisCacheStats, AnalysisManager, AnalysisSnapshot, PreservedAnalyses};
 use crate::context::Context;
 use crate::error::{IrError, IrResult};

@@ -6,14 +6,14 @@
 
 use crate::context::Context;
 use crate::ids::{OpId, ValueId};
-use std::collections::HashMap;
+use crate::storage::EntityMap;
 use std::fmt::Write;
 
 /// Prints `root` and everything nested below it.
 pub fn print_op(ctx: &Context, root: OpId) -> String {
     let mut printer = Printer {
         ctx,
-        names: HashMap::new(),
+        names: EntityMap::new(),
         next_id: 0,
         out: String::new(),
     };
@@ -23,14 +23,15 @@ pub fn print_op(ctx: &Context, root: OpId) -> String {
 
 struct Printer<'a> {
     ctx: &'a Context,
-    names: HashMap<ValueId, String>,
+    /// Per-walk value numbering, dense over the value arena.
+    names: EntityMap<ValueId, String>,
     next_id: usize,
     out: String,
 }
 
 impl<'a> Printer<'a> {
     fn value_name(&mut self, v: ValueId) -> String {
-        if let Some(name) = self.names.get(&v) {
+        if let Some(name) = self.names.get(v) {
             return name.clone();
         }
         let name = match &self.ctx.value(v).name_hint {
@@ -43,8 +44,11 @@ impl<'a> Printer<'a> {
     }
 
     fn print(&mut self, op: OpId, indent: usize) {
+        // `ctx` is an independent shared borrow, so reading op payloads from
+        // it does not freeze `self` — no per-op clone needed.
+        let ctx = self.ctx;
         let pad = "  ".repeat(indent);
-        let operation = self.ctx.op(op).clone();
+        let operation = ctx.op(op);
         let mut line = String::new();
 
         if !operation.results.is_empty() {
@@ -77,7 +81,7 @@ impl<'a> Printer<'a> {
             let types: Vec<String> = operation
                 .results
                 .iter()
-                .map(|&r| self.ctx.value_type(r).to_string())
+                .map(|&r| ctx.value_type(r).to_string())
                 .collect();
             write!(line, " : {}", types.join(", ")).unwrap();
         }
@@ -86,19 +90,19 @@ impl<'a> Printer<'a> {
 
         for &region in &operation.regions {
             writeln!(self.out, "{pad}{{").unwrap();
-            for &block in &self.ctx.region(region).blocks {
-                let args = self.ctx.block(block).args.clone();
+            for &block in &ctx.region(region).blocks {
+                let args = &ctx.block(block).args;
                 if !args.is_empty() {
                     let arg_strs: Vec<String> = args
                         .iter()
                         .map(|&a| {
                             let name = self.value_name(a);
-                            format!("{name}: {}", self.ctx.value_type(a))
+                            format!("{name}: {}", ctx.value_type(a))
                         })
                         .collect();
                     writeln!(self.out, "{pad}^bb({}):", arg_strs.join(", ")).unwrap();
                 }
-                for &nested in &self.ctx.block(block).ops.clone() {
+                for &nested in &ctx.block(block).ops {
                     self.print(nested, indent + 1);
                 }
             }

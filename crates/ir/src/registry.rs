@@ -8,6 +8,10 @@
 //! `--list-passes`-style listings, plus the factory that turns parsed
 //! [`PassOption`]s into a ready-to-run [`Pass`] instance.
 
+// The registry is keyed by pass-name strings parsed from pipeline text, not by
+// dense entity ids; it is consulted once per pipeline assembly (cold).
+#![allow(clippy::disallowed_types)]
+
 use crate::parse::{parse_pipeline, PassInvocation, PipelineParseError};
 use crate::pass::{Pass, PassOption};
 use std::collections::HashMap;

@@ -27,12 +27,11 @@ pub fn walk_ops(
     if order == WalkOrder::PreOrder {
         visit(ctx, root);
     }
-    let regions = ctx.op(root).regions.clone();
-    for region in regions {
-        let blocks = ctx.region(region).blocks.clone();
-        for block in blocks {
-            let ops = ctx.block(block).ops.clone();
-            for op in ops {
+    // The context is borrowed shared for the whole walk, so the structure
+    // vectors can be iterated in place — no per-op clones.
+    for &region in &ctx.op(root).regions {
+        for &block in &ctx.region(region).blocks {
+            for &op in &ctx.block(block).ops {
                 walk_ops(ctx, op, order, visit);
             }
         }

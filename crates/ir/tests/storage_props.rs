@@ -1,0 +1,177 @@
+//! Property tests for the dense side-table containers and the intern table:
+//! parity with the `std` hash containers they replaced, plus whole-context
+//! clone fidelity and free-list slot reuse through the public `Context` API.
+
+// The std hash containers ARE the reference model here, so the crate-wide
+// dense-table lint does not apply.
+#![allow(clippy::disallowed_types)]
+
+use hida_ir_core::fingerprint::structural_fingerprint;
+use hida_ir_core::printer::print_op;
+use hida_ir_core::storage::{EntityMap, EntitySet};
+use hida_ir_core::{Context, OpBuilder, Symbol, Type, ValueId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// `EntityMap` behaves exactly like `HashMap<usize, i64>` under a random
+    /// interleaving of insert / remove / get, including return values and the
+    /// live count.
+    #[test]
+    fn entity_map_matches_hash_map_model(
+        ops in prop::collection::vec((0_u8..3, 0_usize..48, -1000_i64..1000), 1..64),
+    ) {
+        let mut dense: EntityMap<ValueId, i64> = EntityMap::new();
+        let mut model: HashMap<usize, i64> = HashMap::new();
+        for (kind, index, value) in ops {
+            let id = ValueId::from_index(index);
+            match kind {
+                0 => prop_assert_eq!(dense.insert(id, value), model.insert(index, value)),
+                1 => prop_assert_eq!(dense.remove(id), model.remove(&index)),
+                _ => prop_assert_eq!(dense.get(id), model.get(&index)),
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+        }
+        // Iteration yields every modelled entry, in id order.
+        let mut expected: Vec<(usize, i64)> = model.into_iter().collect();
+        expected.sort_unstable();
+        let got: Vec<(usize, i64)> = dense.iter().map(|(id, &v)| (id.index(), v)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `EntitySet` behaves exactly like `HashSet<usize>` under a random
+    /// interleaving of insert / remove / contains.
+    #[test]
+    fn entity_set_matches_hash_set_model(
+        ops in prop::collection::vec((0_u8..3, 0_usize..200), 1..64),
+    ) {
+        let mut dense: EntitySet<ValueId> = EntitySet::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        for (kind, index) in ops {
+            let id = ValueId::from_index(index);
+            match kind {
+                0 => prop_assert_eq!(dense.insert(id), model.insert(index)),
+                1 => prop_assert_eq!(dense.remove(id), model.remove(&index)),
+                _ => prop_assert_eq!(dense.contains(id), model.contains(&index)),
+            }
+            prop_assert_eq!(dense.len(), model.len());
+        }
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        expected.sort_unstable();
+        let got: Vec<usize> = dense.iter().map(|id: ValueId| id.index()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interning is a pure function from string to symbol: duplicates map to
+    /// the same symbol (HashMap-model parity) and every symbol resolves back
+    /// to exactly the interned text.
+    #[test]
+    fn intern_table_matches_hash_map_model(
+        picks in prop::collection::vec((0_usize..12, 0_u8..2), 1..48),
+    ) {
+        let names = [
+            "arith.addi", "arith.muli", "hida.task", "hida.node", "hida.buffer",
+            "func.func", "builtin.module", "factor", "fashion", "task_name",
+            "parallel_factor", "unroll_factors",
+        ];
+        let mut model: HashMap<&str, Symbol> = HashMap::new();
+        for (pick, _) in picks {
+            let text = names[pick];
+            let sym = Symbol::intern(text);
+            match model.get(text) {
+                Some(&prev) => prop_assert_eq!(prev, sym),
+                None => { model.insert(text, sym); }
+            }
+            prop_assert_eq!(sym.as_str(), text);
+            prop_assert_eq!(Symbol::intern(text), sym);
+        }
+        // Distinct strings never collide on the same symbol.
+        let distinct: HashSet<Symbol> = model.values().copied().collect();
+        prop_assert_eq!(distinct.len(), model.len());
+    }
+}
+
+/// Builds a small two-task module exercising attrs, regions and use lists.
+fn sample_module(ctx: &mut Context) -> hida_ir_core::OpId {
+    let module = ctx.create_module("clone_me");
+    let func = OpBuilder::at_end_of(ctx, module).create_func("f", vec![], vec![]);
+    let mut b = OpBuilder::at_end_of(ctx, func);
+    let c0 = b.create_constant_int(3, Type::i32());
+    let c1 = b.create_constant_int(4, Type::i32());
+    let (_, sums) = b.create("arith.addi", vec![c0, c1], vec![Type::i32()], vec![]);
+    let (task, body, _) = b.create_with_body(
+        "hida.task",
+        vec![sums[0]],
+        vec![Type::tensor(vec![8, 8], Type::f32())],
+        vec![("task_name", "t0".into()), ("factor", 4_i64.into())],
+        false,
+    );
+    OpBuilder::at_block_end(ctx, body).create("builtin.yield", vec![], vec![], vec![]);
+    let _ = task;
+    module
+}
+
+/// A cloned context is observationally identical — same printed IR, same
+/// structural fingerprint — while carrying a fresh context identity, and the
+/// clone is fully independent of the original afterwards.
+#[test]
+fn cloned_context_prints_and_fingerprints_identically() {
+    let mut ctx = Context::new();
+    let module = sample_module(&mut ctx);
+
+    let copy = ctx.clone();
+    assert_ne!(ctx.id(), copy.id(), "clone must mint a fresh context id");
+    assert_eq!(print_op(&ctx, module), print_op(&copy, module));
+    assert_eq!(
+        structural_fingerprint(&ctx, module),
+        structural_fingerprint(&copy, module)
+    );
+
+    // Mutating the original must not leak into the clone.
+    let before = print_op(&copy, module);
+    let body_region = ctx.op(module).regions[0];
+    let block = ctx.region(body_region).blocks[0];
+    ctx.build_op(block, "test.extra", vec![], vec![], vec![]);
+    assert_eq!(print_op(&copy, module), before);
+}
+
+/// Erasing an op returns its slot to the free list; the next creation reuses
+/// it (same id, no arena growth) and bumps the slot's epoch so stale holders
+/// of the old id can detect the recycling.
+#[test]
+fn erase_then_create_reuses_the_slot_with_a_new_epoch() {
+    let mut ctx = Context::new();
+    let module = ctx.create_module("m");
+    let func = OpBuilder::at_end_of(&mut ctx, module).create_func("f", vec![], vec![]);
+    let mut b = OpBuilder::at_end_of(&mut ctx, func);
+    let c = b.create_constant_int(1, Type::i32());
+    let (victim, _) = b.create("arith.addi", vec![c, c], vec![Type::i32()], vec![]);
+
+    let epoch_before = ctx.op_epoch(victim);
+    let (ops_before, ..) = ctx.arena_sizes();
+    ctx.erase_op(victim);
+    assert!(!ctx.is_alive(victim));
+    assert_eq!(ctx.free_op_slots(), 1);
+    assert_eq!(
+        ctx.op_epoch(victim),
+        epoch_before + 1,
+        "erase bumps the epoch"
+    );
+
+    let body = ctx.body_block(func);
+    let (reborn, _) = ctx.build_op(body, "arith.muli", vec![c, c], vec![Type::i32()], vec![]);
+    assert_eq!(reborn, victim, "freed slot is reused LIFO");
+    assert_eq!(
+        ctx.arena_sizes().0,
+        ops_before,
+        "reuse must not grow the arena"
+    );
+    assert_eq!(ctx.free_op_slots(), 0);
+    assert!(ctx.is_alive(reborn));
+    assert_eq!(
+        ctx.op_epoch(reborn),
+        epoch_before + 1,
+        "the reused slot keeps its bumped epoch until the next erase"
+    );
+}
