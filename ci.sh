@@ -1,128 +1,239 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus lint gate. Run from the repository root.
-# Mirrors .github/workflows/ci.yml so local runs match CI.
+# Staged tier-1 verification plus lint gate. Run from the repository root.
+#
+#   ./ci.sh            run every stage (the full pre-merge gate)
+#   ./ci.sh <stage>    run one stage: build | test | determinism | cache | persist
+#
+# Mirrors .github/workflows/ci.yml, where each CI job runs exactly one
+# `./ci.sh <stage>` — keeping local runs and CI the same by construction.
 set -euo pipefail
 
-echo "==> cargo build --release"
-cargo build --release
+# Compile the workspace and enforce the static gates: clippy, rustfmt, rustdoc.
+run_build() {
+  echo "==> [build] cargo build --release"
+  cargo build --release
 
-echo "==> cargo build --examples (not covered by plain cargo build)"
-cargo build --examples
+  echo "==> [build] cargo build --examples (not covered by plain cargo build)"
+  cargo build --examples
 
-echo "==> cargo test -q"
-cargo test -q
+  echo "==> [build] cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test --benches -q -- --test (bench smoke run, 1 iteration each)"
-cargo test --benches -q -- --test
+  echo "==> [build] cargo fmt --all -- --check"
+  cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> [build] cargo doc --no-deps (warnings are errors)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+}
 
-echo "==> cargo fmt --all -- --check"
-cargo fmt --all -- --check
+# Unit, integration, doc and bench-harness tests.
+run_test() {
+  echo "==> [test] cargo test -q"
+  cargo test -q
 
-echo "==> cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+  echo "==> [test] cargo test --benches -q -- --test (bench smoke run, 1 iteration each)"
+  cargo test --benches -q -- --test
 
-echo "==> cargo test --doc (build + run the documentation examples)"
-cargo test --doc -q
+  echo "==> [test] cargo test --doc (build + run the documentation examples)"
+  cargo test --doc -q
 
-echo "==> hida-opt CLI ablation matrix on TwoMm (one pipeline string per variant)"
-ablations=(
-  "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
-  "construct,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
-  "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance"
-  "construct,fusion,lower,tiling{factor=4},parallelize"
-  "construct,lower,parallelize{max-factor=8,mode=Naive,device=zu3eg}"
-  "construct,lower,profile,parallelize{max-factor=8,device=zu3eg}"
-)
-for pipeline in "${ablations[@]}"; do
-  echo "    -> ${pipeline}"
-  cargo run --release -q -p hida --bin hida-opt -- \
-    --workload two_mm --pipeline "${pipeline}" > /dev/null
-done
+  echo "==> [test] bench_ir smoke: every IR micro-bench once, harness must stay alive"
+  local bench_ir_json
+  bench_ir_json=$(mktemp /tmp/BENCH_ir.XXXXXX.json)
+  cargo run --release -q -p hida-bench --bin bench_ir -- \
+    --smoke --json "${bench_ir_json}"
+  cat "${bench_ir_json}"
+  rm -f "${bench_ir_json}"
+  if [[ -f BENCH_ir.json ]]; then
+    echo "checked-in BENCH_ir.json:"
+    cat BENCH_ir.json
+  fi
+}
 
-echo "==> parallel determinism: --jobs 1 and --jobs 4 schedules/QoR must match"
-strip_timing() { grep -v '^jobs:' | grep -vE ' us, ops |cache|workers'; }
-jobs1=$(cargo run --release -q -p hida --bin hida-opt -- \
-  --workload two_mm --jobs 1 | strip_timing)
-jobs4=$(cargo run --release -q -p hida --bin hida-opt -- \
-  --workload two_mm --jobs 4 | strip_timing)
-if [[ "${jobs1}" != "${jobs4}" ]]; then
-  echo "--jobs 1 and --jobs 4 outputs diverged"
-  diff <(echo "${jobs1}") <(echo "${jobs4}") || true
-  exit 1
-fi
+# Parallel execution must be invisible in the output. `--no-timing` suppresses
+# every timing- or machine-dependent line at the source, so the outputs are
+# compared byte for byte with no grep filtering.
+run_determinism() {
+  echo "==> [determinism] hida-opt CLI ablation matrix on TwoMm (one pipeline string per variant)"
+  local ablations=(
+    "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
+    "construct,lower,multi-producer-elim,tiling{factor=4},balance,parallelize"
+    "construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance"
+    "construct,fusion,lower,tiling{factor=4},parallelize"
+    "construct,lower,parallelize{max-factor=8,mode=Naive,device=zu3eg}"
+    "construct,lower,profile,parallelize{max-factor=8,device=zu3eg}"
+  )
+  local pipeline
+  for pipeline in "${ablations[@]}"; do
+    echo "    -> ${pipeline}"
+    cargo run --release -q -p hida --bin hida-opt -- \
+      --workload two_mm --pipeline "${pipeline}" > /dev/null
+  done
 
-echo "==> bench_ir smoke: every IR micro-bench once, harness must stay alive"
-bench_ir_json=$(mktemp /tmp/BENCH_ir.XXXXXX.json)
-cargo run --release -q -p hida-bench --bin bench_ir -- \
-  --smoke --json "${bench_ir_json}"
-cat "${bench_ir_json}"
-rm -f "${bench_ir_json}"
-if [[ -f BENCH_ir.json ]]; then
-  echo "checked-in BENCH_ir.json:"
-  cat BENCH_ir.json
-fi
-
-echo "==> analysis cache effectiveness (same ablation twice; both runs must report hits)"
-for attempt in 1 2; do
-  out=$(cargo run --release -q -p hida --bin hida-opt -- \
-    --workload two_mm --stats-json)
-  if ! echo "${out}" | grep -q '"hits":[1-9]'; then
-    echo "run ${attempt}: no analysis cache hits reported"
-    echo "${out}" | tail -n 1
+  echo "==> [determinism] --jobs 1 vs --jobs 4: --no-timing output must be byte-identical"
+  local jobs1 jobs4
+  jobs1=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --jobs 1 --no-timing)
+  jobs4=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --jobs 4 --no-timing)
+  if [[ "${jobs1}" != "${jobs4}" ]]; then
+    echo "--jobs 1 and --jobs 4 outputs diverged"
+    diff <(echo "${jobs1}") <(echo "${jobs4}") || true
     exit 1
   fi
-done
 
-echo "==> sweep smoke: reduced-grid fig10 (pooled vs sequential loop)"
-sweep_json=$(mktemp /tmp/BENCH_sweep.XXXXXX.json)
-cargo run --release -q -p hida-bench --bin fig10_ablation -- \
-  --jobs 4 --sweep-json "${sweep_json}" > /dev/null
-if ! grep -q '"qor_identical": true' "${sweep_json}"; then
-  echo "pooled sweep QoR diverged from the sequential loop"
-  cat "${sweep_json}"
-  exit 1
-fi
-# Cross-point cache hits are asserted on a pool-of-1 engine run: with points
-# compiling strictly in order the hit count is deterministic (concurrent
-# points may legitimately race compute-before-publish on a shared entry).
-cargo run --release -q -p hida-bench --bin fig10_ablation -- \
-  --jobs 1 --sweep-json "${sweep_json}" > /dev/null
-if ! grep -qE '"shared_cache": \{"hits": [1-9]' "${sweep_json}"; then
-  echo "no cross-compilation estimate cache hits reported"
-  cat "${sweep_json}"
-  exit 1
-fi
-rm -f "${sweep_json}"
-
-echo "==> hida-opt --sweep determinism: --jobs 1 and --jobs 4 QoR must match"
-sweep_variants=$(mktemp /tmp/sweep_variants.XXXXXX.txt)
-cat > "${sweep_variants}" <<'EOF'
+  echo "==> [determinism] hida-opt --sweep: --jobs 1 vs --jobs 4 must be byte-identical"
+  local sweep_variants sweep1 sweep4
+  sweep_variants=$(mktemp /tmp/sweep_variants.XXXXXX.txt)
+  cat > "${sweep_variants}" <<'EOF'
 construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize{max-factor=8,device=zu3eg}
 construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize{max-factor=16,device=zu3eg}
 construct,fusion,lower,multi-producer-elim,tiling{factor=4},balance,parallelize{max-factor=8,device=zu3eg}
 construct,lower,parallelize{max-factor=8,mode=Naive,device=zu3eg}
 EOF
-strip_sweep_timing() { grep -vE '^jobs:|time:|cache|wall-clock'; }
-sweep1=$(cargo run --release -q -p hida --bin hida-opt -- \
-  --workload two_mm --sweep "${sweep_variants}" --jobs 1 | strip_sweep_timing)
-sweep4=$(cargo run --release -q -p hida --bin hida-opt -- \
-  --workload two_mm --sweep "${sweep_variants}" --jobs 4 | strip_sweep_timing)
-if [[ "${sweep1}" != "${sweep4}" ]]; then
-  echo "--sweep outputs diverged between --jobs 1 and --jobs 4"
-  diff <(echo "${sweep1}") <(echo "${sweep4}") || true
-  exit 1
-fi
-# The duplicated variant must hit the cross-compilation cache.
-sweep_stats=$(cargo run --release -q -p hida --bin hida-opt -- \
-  --workload two_mm --sweep "${sweep_variants}" --jobs 1 --stats-json 2> /dev/null)
-if ! echo "${sweep_stats}" | grep -qE '"shared_cache_totals":\{"hits":[1-9]'; then
-  echo "hida-opt --sweep reported no cross-compilation cache hits"
-  echo "${sweep_stats}"
-  exit 1
-fi
-rm -f "${sweep_variants}"
+  sweep1=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${sweep_variants}" --jobs 1 --no-timing)
+  sweep4=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${sweep_variants}" --jobs 4 --no-timing)
+  if [[ "${sweep1}" != "${sweep4}" ]]; then
+    echo "--sweep outputs diverged between --jobs 1 and --jobs 4"
+    diff <(echo "${sweep1}") <(echo "${sweep4}") || true
+    exit 1
+  fi
 
-echo "CI OK"
+  # The duplicated variant must hit the cross-compilation cache.
+  local sweep_stats
+  sweep_stats=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${sweep_variants}" --jobs 1 --stats-json 2> /dev/null)
+  if ! echo "${sweep_stats}" | grep -qE '"shared_cache_totals":\{"hits":[1-9]'; then
+    echo "hida-opt --sweep reported no cross-compilation cache hits"
+    echo "${sweep_stats}"
+    exit 1
+  fi
+  rm -f "${sweep_variants}"
+}
+
+# In-process caches must actually fire: the per-pass analysis cache and the
+# cross-compilation estimate cache of a pooled sweep.
+run_cache() {
+  echo "==> [cache] analysis cache effectiveness (same ablation twice; both runs must report hits)"
+  local attempt out
+  for attempt in 1 2; do
+    out=$(cargo run --release -q -p hida --bin hida-opt -- \
+      --workload two_mm --stats-json)
+    if ! echo "${out}" | grep -q '"hits":[1-9]'; then
+      echo "run ${attempt}: no analysis cache hits reported"
+      echo "${out}" | tail -n 1
+      exit 1
+    fi
+  done
+
+  echo "==> [cache] sweep smoke: reduced-grid fig10 (pooled vs sequential loop)"
+  local sweep_json
+  sweep_json=$(mktemp /tmp/BENCH_sweep.XXXXXX.json)
+  cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+    --jobs 4 --sweep-json "${sweep_json}" > /dev/null
+  if ! grep -q '"qor_identical": true' "${sweep_json}"; then
+    echo "pooled sweep QoR diverged from the sequential loop"
+    cat "${sweep_json}"
+    exit 1
+  fi
+  # Cross-point cache hits are asserted on a pool-of-1 engine run: with points
+  # compiling strictly in order the hit count is deterministic (concurrent
+  # points may legitimately race compute-before-publish on a shared entry).
+  cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+    --jobs 1 --sweep-json "${sweep_json}" > /dev/null
+  if ! grep -qE '"shared_cache": \{"hits": [1-9]' "${sweep_json}"; then
+    echo "no cross-compilation estimate cache hits reported"
+    cat "${sweep_json}"
+    exit 1
+  fi
+  rm -f "${sweep_json}"
+}
+
+# The persistent estimate store must carry estimates across *processes*: a
+# second fig10 run pointed at the same --cache-dir reports nonzero persistent
+# hits and byte-identical QoR, and a corrupted entry degrades to misses
+# without failing the run.
+run_persist() {
+  echo "==> [persist] fig10 twice, two processes sharing one --cache-dir"
+  local cache_dir cold_json warm_json cold_txt warm_txt
+  cache_dir=$(mktemp -d /tmp/hida_ci_store.XXXXXX)
+  cold_json=$(mktemp /tmp/BENCH_sweep_cold.XXXXXX.json)
+  warm_json=$(mktemp /tmp/BENCH_sweep_warm.XXXXXX.json)
+  cold_txt=$(mktemp /tmp/fig10_cold.XXXXXX.txt)
+  warm_txt=$(mktemp /tmp/fig10_warm.XXXXXX.txt)
+
+  cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+    --jobs 2 --cache-dir "${cache_dir}" --cache-limit-mb 64 \
+    --sweep-json "${cold_json}" > "${cold_txt}"
+  if ! grep -qE '"persistent_cache": \{"hits": 0, "misses": [1-9][0-9]*, "writes": [1-9]' "${cold_json}"; then
+    echo "cold run did not populate the persistent store"
+    cat "${cold_json}"
+    exit 1
+  fi
+
+  cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+    --jobs 2 --cache-dir "${cache_dir}" --cache-limit-mb 64 \
+    --sweep-json "${warm_json}" > "${warm_txt}"
+  if ! grep -qE '"persistent_cache": \{"hits": [1-9]' "${warm_json}"; then
+    echo "warm run reported no persistent store hits (no cross-process reuse)"
+    cat "${warm_json}"
+    exit 1
+  fi
+
+  # The per-point QoR table (parallel_factor, tile, dsp, bram, throughput
+  # lines) must be byte-identical between the cold and warm process.
+  if ! diff <(grep -E '^[0-9]+, ' "${cold_txt}") <(grep -E '^[0-9]+, ' "${warm_txt}"); then
+    echo "warm-process QoR diverged from the cold process"
+    exit 1
+  fi
+
+  echo "==> [persist] a corrupted store entry must degrade to misses, not fail the run"
+  local entry corrupt_json
+  entry=$(find "${cache_dir}" -name '*.est' | sort | head -n 1)
+  if [[ -z "${entry}" ]]; then
+    echo "no store entries found under ${cache_dir}"
+    exit 1
+  fi
+  printf 'vandalized' > "${entry}"
+  corrupt_json=$(mktemp /tmp/BENCH_sweep_corrupt.XXXXXX.json)
+  cargo run --release -q -p hida-bench --bin fig10_ablation -- \
+    --jobs 2 --cache-dir "${cache_dir}" --cache-limit-mb 64 \
+    --sweep-json "${corrupt_json}" > /dev/null
+  if ! grep -qE '"corrupt": [1-9]' "${corrupt_json}"; then
+    echo "corrupted entry was not detected"
+    cat "${corrupt_json}"
+    exit 1
+  fi
+  if ! grep -q '"qor_identical": true' "${corrupt_json}"; then
+    echo "corrupted store changed sweep results"
+    cat "${corrupt_json}"
+    exit 1
+  fi
+
+  rm -rf "${cache_dir}"
+  rm -f "${cold_json}" "${warm_json}" "${cold_txt}" "${warm_txt}" "${corrupt_json}"
+}
+
+stage="${1:-all}"
+case "${stage}" in
+  build) run_build ;;
+  test) run_test ;;
+  determinism) run_determinism ;;
+  cache) run_cache ;;
+  persist) run_persist ;;
+  all)
+    run_build
+    run_test
+    run_determinism
+    run_cache
+    run_persist
+    ;;
+  *)
+    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | all)"
+    exit 2
+    ;;
+esac
+
+echo "CI OK (${stage})"

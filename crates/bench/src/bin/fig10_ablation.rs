@@ -12,9 +12,16 @@
 //! the wall-clock/speedup/cache-traffic summary is written to
 //! `BENCH_sweep.json` (override with `--sweep-json <path>`). `--jobs <n>` caps
 //! the sweep's total worker-thread budget.
+//!
+//! `--cache-dir <dir>` backs the sweep's estimate cache with the persistent
+//! on-disk store: a second invocation pointed at the same directory reuses the
+//! first run's per-node estimates (`"persistent_cache"` in the JSON report
+//! shows the disk tier's hits/misses), which is how CI proves cross-process
+//! reuse. `--cache-limit-mb <n>` caps the store's size.
 
-use hida::{HidaOptions, Model, SweepPoint, Workload};
+use hida::{EstimateStore, HidaOptions, Model, SharedEstimateCache, SweepPoint, Workload};
 use hida_bench::{variants, SweepRunner};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +46,34 @@ fn main() {
         }
         None => hida::ir::default_jobs(),
     };
+    let cache_dir = value_of("--cache-dir");
+    let cache_limit_mb: Option<u64> = match value_of("--cache-limit-mb") {
+        Some(raw) => match raw.parse() {
+            Ok(mb) if mb >= 1 => Some(mb),
+            _ => {
+                eprintln!("error: --cache-limit-mb: '{raw}' is not a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if cache_limit_mb.is_some() && cache_dir.is_none() {
+        eprintln!("error: --cache-limit-mb requires --cache-dir");
+        std::process::exit(2);
+    }
+    let cache = cache_dir.map(|dir| {
+        let mut store = match EstimateStore::open(&dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("error: --cache-dir {dir}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Some(mb) = cache_limit_mb {
+            store = store.with_limit_bytes(mb * 1024 * 1024);
+        }
+        Arc::new(SharedEstimateCache::with_store(store))
+    });
 
     let parallel_factors: Vec<i64> = if full {
         vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
@@ -52,6 +87,9 @@ fn main() {
     };
 
     let mut runner = SweepRunner::new(if full { "fig10-full" } else { "fig10-reduced" });
+    if let Some(cache) = cache {
+        runner = runner.with_cache(cache);
+    }
     for &pf in &parallel_factors {
         for &tile in &tile_sizes {
             runner = runner.point(

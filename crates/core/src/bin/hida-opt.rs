@@ -21,7 +21,7 @@
 //! worker-thread budget.
 
 use hida::sweep::{json_escape, JobBudget, SweepEngine, SweepOutcome, SweepPoint};
-use hida::{SharedCacheStats, Workload};
+use hida::{EstimateStore, PersistentStoreStats, SharedCacheStats, SharedEstimateCache, Workload};
 use hida_dialects::analysis::ComputeProfile;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
@@ -56,7 +56,18 @@ usage: hida-opt [OPTIONS]
   --device <name>       device for QoR estimation: pynq-z2 | zu3eg | vu9p-slr
                         (default: the pipeline's parallelize device, else
                         vu9p-slr)
+  --cache-dir <path>    persist per-node QoR estimates in a content-addressed
+                        store under <path> (created if missing): this run
+                        reuses estimates written by earlier processes sharing
+                        the directory, and writes its own back; corrupt or
+                        stale entries read as misses, never as errors
+  --cache-limit-mb <n>  size budget for --cache-dir in megabytes; writes past
+                        the budget evict least-recently-used entries
   --no-verify           skip inter-pass IR verification
+  --no-timing           omit timing and machine/state-dependent counters
+                        (pass micros, jobs, cache traffic, wall-clock) so the
+                        report is byte-stable across runs and job counts —
+                        what CI diffs for determinism
   --stats-json          emit per-pass statistics (timing, op deltas, analysis
                         + estimator cache hits/misses; under --sweep, the
                         per-point QoR and aggregated cross-compilation cache
@@ -122,7 +133,10 @@ struct Args {
     size: Option<i64>,
     jobs: Option<usize>,
     device: Option<String>,
+    cache_dir: Option<String>,
+    cache_limit_mb: Option<u64>,
     no_verify: bool,
+    no_timing: bool,
     stats_json: bool,
     list_passes: bool,
     list_workloads: bool,
@@ -164,7 +178,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.jobs = Some(jobs);
             }
             "--device" => args.device = Some(value_of("--device")?),
+            "--cache-dir" => args.cache_dir = Some(value_of("--cache-dir")?),
+            "--cache-limit-mb" => {
+                let raw = value_of("--cache-limit-mb")?;
+                let mb: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--cache-limit-mb: '{raw}' is not an integer"))?;
+                if mb < 1 {
+                    return Err("--cache-limit-mb: must be >= 1".to_string());
+                }
+                args.cache_limit_mb = Some(mb);
+            }
             "--no-verify" => args.no_verify = true,
+            "--no-timing" => args.no_timing = true,
             "--stats-json" => args.stats_json = true,
             "--list-passes" => args.list_passes = true,
             "--list-workloads" => args.list_workloads = true,
@@ -219,6 +245,55 @@ fn shared_cache_json(shared: &SharedCacheStats) -> String {
     )
 }
 
+fn persistent_json(persistent: Option<&PersistentStoreStats>) -> String {
+    match persistent {
+        Some(p) => format!(
+            "{{\"hits\":{},\"misses\":{},\"writes\":{},\"evictions\":{},\"corrupt\":{}}}",
+            p.hits, p.misses, p.writes, p.evictions, p.corrupt
+        ),
+        None => "null".to_string(),
+    }
+}
+
+/// Builds the shared estimate cache backed by `--cache-dir`, when set.
+fn build_cache(args: &Args) -> Result<Option<std::sync::Arc<SharedEstimateCache>>, String> {
+    let Some(dir) = &args.cache_dir else {
+        if args.cache_limit_mb.is_some() {
+            return Err("--cache-limit-mb requires --cache-dir".to_string());
+        }
+        return Ok(None);
+    };
+    let mut store = EstimateStore::open(dir)
+        .map_err(|e| format!("--cache-dir: cannot open store at '{dir}': {e}"))?;
+    if let Some(mb) = args.cache_limit_mb {
+        store = store.with_limit_bytes(mb * 1024 * 1024);
+    }
+    Ok(Some(std::sync::Arc::new(SharedEstimateCache::with_store(
+        store,
+    ))))
+}
+
+/// Renders one pass's statistics without timing or cache/worker counters:
+/// only fields that are byte-stable across runs and job counts survive, so
+/// `--no-timing` output can be diffed directly.
+fn stable_stat(stat: &PassStatistics) -> String {
+    let mut out = format!(
+        "{}: ops {} -> {} ({:+})",
+        stat.pass,
+        stat.live_ops_before,
+        stat.live_ops_after,
+        stat.op_delta()
+    );
+    if !stat.options.is_empty() {
+        let rendered: Vec<String> = stat.options.iter().map(|o| o.to_string()).collect();
+        out.push_str(&format!(" [{}]", rendered.join(", ")));
+    }
+    if stat.failed {
+        out.push_str(" FAILED");
+    }
+    out
+}
+
 /// Renders the per-pass statistics (and their aggregate analysis-cache
 /// counters, plus the QoR estimator's cache when estimation ran) as one
 /// machine-readable JSON object for the CI ablation matrix.
@@ -227,6 +302,8 @@ fn stats_json(
     pipeline_text: &str,
     statistics: &[PassStatistics],
     estimator_cache: Option<&AnalysisCacheStats>,
+    shared: Option<&SharedCacheStats>,
+    persistent: Option<&PersistentStoreStats>,
 ) -> String {
     let totals = PassStatistics::aggregate_cache(statistics);
     let passes: Vec<String> = statistics
@@ -262,12 +339,15 @@ fn stats_json(
         .collect();
     format!(
         "{{\"workload\":\"{}\",\"pipeline\":\"{}\",\"passes\":[{}],\
-         \"analysis_cache_totals\":{},\"estimator_cache\":{}}}",
+         \"analysis_cache_totals\":{},\"estimator_cache\":{},\
+         \"shared_cache\":{},\"persistent_cache\":{}}}",
         json_escape(workload),
         json_escape(pipeline_text),
         passes.join(","),
         cache_json(&totals),
         estimator_cache.map_or_else(|| "null".to_string(), cache_json),
+        shared.map_or_else(|| "null".to_string(), shared_cache_json),
+        persistent_json(persistent),
     )
 }
 
@@ -302,7 +382,8 @@ fn sweep_json(workload: &str, outcome: &SweepOutcome) -> String {
         .collect();
     format!(
         "{{\"workload\":\"{}\",\"sweep\":{{\"pool_jobs\":{},\"point_jobs\":{},\
-         \"wall_seconds\":{:.6},\"points\":[{}],\"shared_cache_totals\":{}}}}}",
+         \"wall_seconds\":{:.6},\"points\":[{}],\"shared_cache_totals\":{},\
+         \"persistent_cache\":{}}}}}",
         json_escape(workload),
         outcome.budget.pool_jobs,
         outcome.budget.point_jobs,
@@ -312,6 +393,7 @@ fn sweep_json(workload: &str, outcome: &SweepOutcome) -> String {
             .shared_cache
             .as_ref()
             .map_or_else(|| "null".to_string(), shared_cache_json),
+        persistent_json(outcome.persistent_cache.as_ref()),
     )
 }
 
@@ -404,15 +486,20 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     let total_jobs = args.jobs.unwrap_or_else(hida_ir_core::default_jobs);
     let budget = JobBudget::for_points(total_jobs, points.len());
     say!("sweep: {} design points from {path}", points.len());
-    say!(
-        "jobs: {total_jobs} total -> {} concurrent points x {} each",
-        budget.pool_jobs,
-        budget.point_jobs
-    );
-    let outcome = SweepEngine::new()
+    if !args.no_timing {
+        say!(
+            "jobs: {total_jobs} total -> {} concurrent points x {} each",
+            budget.pool_jobs,
+            budget.point_jobs
+        );
+    }
+    let mut engine = SweepEngine::new()
         .with_budget(budget)
-        .with_verification(!args.no_verify)
-        .run(&points);
+        .with_verification(!args.no_verify);
+    if let Some(cache) = build_cache(args)? {
+        engine = engine.with_cache(cache);
+    }
+    let outcome = engine.run(&points);
 
     for (index, point) in outcome.points.iter().enumerate() {
         say!("\npoint {:02}: {}", index + 1, point.pipeline);
@@ -425,20 +512,27 @@ fn run_sweep(args: &Args) -> Result<(), String> {
                     result.estimate.resources.bram_18k,
                     result.estimate.resources.lut
                 );
-                say!(
-                    "  time: {:.4}s, shared cache {}",
-                    point.seconds,
-                    result.shared_estimator_cache.unwrap_or_default()
-                );
+                if !args.no_timing {
+                    say!(
+                        "  time: {:.4}s, shared cache {}",
+                        point.seconds,
+                        result.shared_estimator_cache.unwrap_or_default()
+                    );
+                }
             }
             Err(e) => say!("  error: {e}"),
         }
     }
-    if let Some(cache) = &outcome.shared_cache {
-        say!(
-            "\nsweep wall-clock {:.4}s, cross-compilation estimate cache: {cache}",
-            outcome.wall_seconds
-        );
+    if !args.no_timing {
+        if let Some(cache) = &outcome.shared_cache {
+            say!(
+                "\nsweep wall-clock {:.4}s, cross-compilation estimate cache: {cache}",
+                outcome.wall_seconds
+            );
+        }
+        if let Some(persistent) = &outcome.persistent_cache {
+            say!("persistent estimate store: {persistent}");
+        }
     }
     if args.stats_json {
         println!("{}", sweep_json(workload_name, &outcome));
@@ -511,17 +605,25 @@ fn run(args: Args) -> Result<(), String> {
         }
     };
     say!("pipeline: {}", pipeline.to_text());
-    say!("jobs: {jobs}");
+    if !args.no_timing {
+        say!("jobs: {jobs}");
+    }
     let pipeline_text = pipeline.to_text();
 
     let run_result = pipeline.run(&mut ctx, func);
 
     say!("\n# Per-pass statistics");
     for stat in pipeline.statistics() {
-        say!("{stat}");
+        if args.no_timing {
+            say!("{}", stable_stat(stat));
+        } else {
+            say!("{stat}");
+        }
     }
-    let cache_totals = PassStatistics::aggregate_cache(pipeline.statistics());
-    say!("analysis cache totals: {cache_totals}");
+    if !args.no_timing {
+        let cache_totals = PassStatistics::aggregate_cache(pipeline.statistics());
+        say!("analysis cache totals: {cache_totals}");
+    }
     // A failing pipeline still reports where (and after how long) it died —
     // including the machine-readable statistics, with the estimator section
     // nulled out because estimation never ran.
@@ -529,7 +631,14 @@ fn run(args: Args) -> Result<(), String> {
         if args.stats_json {
             println!(
                 "{}",
-                stats_json(workload_name, &pipeline_text, pipeline.statistics(), None)
+                stats_json(
+                    workload_name,
+                    &pipeline_text,
+                    pipeline.statistics(),
+                    None,
+                    None,
+                    None
+                )
             );
         }
         return Err(e.to_string());
@@ -565,7 +674,14 @@ fn run(args: Args) -> Result<(), String> {
         );
     }
 
-    let estimator = DataflowEstimator::new(device.clone()).with_jobs(jobs);
+    // With --cache-dir, QoR estimation runs against the persistent store:
+    // node estimates written by earlier processes are reused, and this run's
+    // fresh estimates are written back for the next one.
+    let shared_cache = build_cache(&args)?;
+    let mut estimator = DataflowEstimator::new(device.clone()).with_jobs(jobs);
+    if let Some(cache) = &shared_cache {
+        estimator = estimator.with_shared_cache(cache.clone());
+    }
     let dataflow = estimator.estimate_schedule(&ctx, schedule, true);
     let sequential = estimator.estimate_schedule(&ctx, schedule, false);
     say!("\n# QoR estimate ({})", device.name);
@@ -584,11 +700,21 @@ fn run(args: Args) -> Result<(), String> {
         device.lut
     );
     say!("DSP efficiency: {:.1}%", 100.0 * dataflow.dsp_efficiency());
-    say!(
-        "estimator cache: {} (dataflow + sequential estimates share node estimates)",
-        estimator.cache_stats()
-    );
+    if !args.no_timing {
+        say!(
+            "estimator cache: {} (dataflow + sequential estimates share node estimates)",
+            estimator.cache_stats()
+        );
+        if let Some(cache) = &shared_cache {
+            say!("shared estimate cache: {}", cache.stats());
+            if let Some(persistent) = cache.persistent_stats() {
+                say!("persistent estimate store: {persistent}");
+            }
+        }
+    }
     if args.stats_json {
+        let shared_stats = shared_cache.as_ref().map(|c| c.stats());
+        let persistent_stats = shared_cache.as_ref().and_then(|c| c.persistent_stats());
         println!(
             "{}",
             stats_json(
@@ -596,6 +722,8 @@ fn run(args: Args) -> Result<(), String> {
                 &pipeline_text,
                 pipeline.statistics(),
                 Some(&estimator.cache_stats()),
+                shared_stats.as_ref(),
+                persistent_stats.as_ref(),
             )
         );
     }

@@ -58,6 +58,7 @@ pub use hida_sim as sim;
 pub use hida_estimator::device::FpgaDevice;
 pub use hida_estimator::report::DesignEstimate;
 pub use hida_estimator::shared_cache::{SharedCacheStats, SharedEstimateCache};
+pub use hida_estimator::store::{EstimateStore, PersistentStoreStats};
 pub use hida_frontend::nn::Model;
 pub use hida_frontend::polybench::PolybenchKernel;
 pub use hida_ir_core::analysis::{

@@ -25,6 +25,7 @@
 
 use crate::{CompilationResult, Compiler, HidaOptions, Workload};
 use hida_estimator::shared_cache::{SharedCacheStats, SharedEstimateCache};
+use hida_estimator::store::PersistentStoreStats;
 use hida_ir_core::par::{default_jobs, run_batch};
 use hida_ir_core::{IrResult, ParallelStats};
 use std::sync::Arc;
@@ -169,6 +170,11 @@ pub struct SweepOutcome {
     /// Aggregate traffic of the cross-compilation estimate cache (`None` when
     /// sharing was disabled).
     pub shared_cache: Option<SharedCacheStats>,
+    /// Traffic of the persistent estimate-store tier (`None` unless the
+    /// engine's cache was created with
+    /// [`SharedEstimateCache::with_store`]): nonzero hits mean this sweep
+    /// reused estimates written by an *earlier process*.
+    pub persistent_cache: Option<PersistentStoreStats>,
     /// Worker/steal counters of the sweep-level pool.
     pub pool: ParallelStats,
 }
@@ -261,6 +267,10 @@ impl SweepEngine {
 
     /// Reuses an existing cache instead of creating a fresh one per run, so
     /// consecutive sweeps (e.g. CLI invocations in one process) keep sharing.
+    /// Hand in a cache created with [`SharedEstimateCache::with_store`] to
+    /// also persist estimates across *processes*: the outcome's
+    /// [`persistent_cache`](SweepOutcome::persistent_cache) then reports the
+    /// disk tier's traffic.
     pub fn with_cache(mut self, cache: Arc<SharedEstimateCache>) -> Self {
         self.cache = Some(cache);
         self.share_estimates = true;
@@ -316,6 +326,7 @@ impl SweepEngine {
             points: outcomes,
             budget,
             wall_seconds: start.elapsed().as_secs_f64(),
+            persistent_cache: cache.as_ref().and_then(|c| c.persistent_stats()),
             shared_cache: cache.map(|c| c.stats()),
             pool,
         }

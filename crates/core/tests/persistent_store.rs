@@ -1,0 +1,145 @@
+//! Integration tests for the persistent estimate store underneath the sweep
+//! engine: two engines that share only a store *directory* — the in-process
+//! simulation of two separate CLI/CI processes — must reuse each other's
+//! estimates with byte-identical QoR, and a corrupted store must degrade to
+//! misses without affecting results.
+
+use hida::ir::printer::print_op;
+use hida::{
+    CompilationResult, EstimateStore, HidaOptions, JobBudget, PolybenchKernel, SharedEstimateCache,
+    SweepEngine, SweepOutcome, SweepPoint, Workload,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn two_mm(size: i64) -> Workload {
+    Workload::PolybenchSized(PolybenchKernel::TwoMm, size)
+}
+
+fn points() -> Vec<SweepPoint> {
+    [8_i64, 16]
+        .iter()
+        .map(|&factor| {
+            SweepPoint::new(
+                format!("pf{factor}"),
+                two_mm(32),
+                HidaOptions {
+                    max_parallel_factor: factor,
+                    ..HidaOptions::polybench()
+                },
+            )
+        })
+        .collect()
+}
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hida_persistent_sweep_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One sweep over `points()` with a *fresh* cache handle over `dir` — each
+/// call stands in for a separate process sharing the store directory.
+fn run_with_store(dir: &PathBuf) -> SweepOutcome {
+    let store = EstimateStore::open(dir).expect("open store");
+    let cache = Arc::new(SharedEstimateCache::with_store(store));
+    SweepEngine::new()
+        .with_budget(JobBudget::sequential())
+        .with_cache(cache)
+        .run(&points())
+}
+
+fn assert_identical(a: &CompilationResult, b: &CompilationResult, label: &str) {
+    assert_eq!(a.estimate, b.estimate, "{label}: dataflow estimate");
+    assert_eq!(
+        a.estimate_sequential, b.estimate_sequential,
+        "{label}: sequential estimate"
+    );
+    assert_eq!(a.hls_cpp, b.hls_cpp, "{label}: emitted HLS C++");
+    assert_eq!(
+        print_op(&a.ctx, a.func),
+        print_op(&b.ctx, b.func),
+        "{label}: printed IR"
+    );
+}
+
+#[test]
+fn second_engine_over_the_same_directory_reuses_estimates() {
+    let dir = temp_store_dir("reuse");
+
+    // "Process" one: cold store — every estimate is computed and written back.
+    let cold = run_with_store(&dir);
+    assert!(cold.all_ok());
+    let cold_store = cold.persistent_cache.expect("store attached");
+    assert_eq!(cold_store.hits, 0, "{cold_store:?}");
+    assert!(cold_store.writes > 0, "{cold_store:?}");
+
+    // "Process" two: fresh cache handle, same directory — served from disk.
+    let warm = run_with_store(&dir);
+    assert!(warm.all_ok());
+    let warm_store = warm.persistent_cache.expect("store attached");
+    assert!(warm_store.hits > 0, "{warm_store:?}");
+    assert_eq!(warm_store.misses, 0, "{warm_store:?}");
+    assert_eq!(warm_store.writes, 0, "{warm_store:?}");
+    // Estimates flowing out of the store count as cache hits for the engine.
+    assert_eq!(warm.shared_cache.unwrap().misses, 0);
+
+    // The reuse must be invisible in the results: byte-identical QoR, C++ and
+    // IR between the cold and warm runs.
+    for (a, b) in cold.points.iter().zip(&warm.points) {
+        assert_identical(
+            a.result.as_ref().unwrap(),
+            b.result.as_ref().unwrap(),
+            &a.label,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_degrades_to_misses_with_identical_results() {
+    let dir = temp_store_dir("corrupt");
+    let cold = run_with_store(&dir);
+    assert!(cold.all_ok());
+
+    // Vandalize every entry file in the store.
+    let probe = EstimateStore::open(&dir).expect("open store");
+    assert!(probe.disk_entries() > 0);
+    for shard in std::fs::read_dir(&dir).unwrap().flatten() {
+        if !shard.path().is_dir() {
+            continue;
+        }
+        for file in std::fs::read_dir(shard.path()).unwrap().flatten() {
+            std::fs::write(file.path(), b"not an estimate entry").unwrap();
+        }
+    }
+
+    // The next "process" sees only corrupt entries: all misses, everything
+    // recomputed and re-published, and the QoR unchanged.
+    let recovered = run_with_store(&dir);
+    assert!(recovered.all_ok());
+    let store_stats = recovered.persistent_cache.expect("store attached");
+    assert_eq!(store_stats.hits, 0, "{store_stats:?}");
+    assert!(store_stats.corrupt > 0, "{store_stats:?}");
+    assert!(store_stats.writes > 0, "{store_stats:?}");
+    for (a, b) in cold.points.iter().zip(&recovered.points) {
+        assert_identical(
+            a.result.as_ref().unwrap(),
+            b.result.as_ref().unwrap(),
+            &a.label,
+        );
+    }
+
+    // And the re-published entries serve the run after that.
+    let warm = run_with_store(&dir);
+    let warm_store = warm.persistent_cache.expect("store attached");
+    assert!(warm_store.hits > 0, "{warm_store:?}");
+    assert_eq!(warm_store.corrupt, 0, "{warm_store:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

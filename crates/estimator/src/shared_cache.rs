@@ -22,11 +22,22 @@
 //! [`DataflowEstimator::with_shared_cache`]; a sweep engine creates one cache
 //! and hands a clone of the `Arc` to every concurrent compilation.
 //!
+//! With [`SharedEstimateCache::with_store`], the cache additionally layers a
+//! persistent, content-addressed [`EstimateStore`] underneath: in-memory
+//! misses read through to disk, and freshly computed estimates are written
+//! back — so *separate processes* (consecutive CLI runs, bench invocations,
+//! CI steps) pointed at the same directory share estimate work too. The disk
+//! tier keeps its own hit/miss counters
+//! ([`SharedEstimateCache::persistent_stats`]); the in-memory counters count
+//! a disk hit as a cache hit, because the caller was served without
+//! computing.
+//!
 //! [`DataflowEstimator`]: crate::dataflow::DataflowEstimator
 //! [`DataflowEstimator::with_shared_cache`]: crate::dataflow::DataflowEstimator::with_shared_cache
 
 use crate::device::FpgaDevice;
 use crate::latency::{buffer_info, NodeEstimate};
+use crate::store::{EstimateStore, PersistentStoreStats};
 use hida_ir_core::fingerprint::{structural_fingerprint_filtered, Fingerprint, StableHasher};
 use hida_ir_core::{Context, OpId};
 use std::collections::HashMap;
@@ -86,34 +97,85 @@ pub struct SharedEstimateCache {
     entries: Mutex<HashMap<Fingerprint, NodeEstimate>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Persistent read-through/write-back tier, when attached.
+    store: Option<EstimateStore>,
 }
 
 impl SharedEstimateCache {
-    /// Creates an empty cache.
+    /// Creates an empty, purely in-memory cache.
     pub fn new() -> Self {
         SharedEstimateCache::default()
     }
 
+    /// Creates a cache layered over a persistent [`EstimateStore`]: lookups
+    /// that miss in memory read through to disk, and published estimates are
+    /// written back, so separate processes sharing the store's directory
+    /// share estimate work across runs.
+    pub fn with_store(store: EstimateStore) -> Self {
+        SharedEstimateCache {
+            store: Some(store),
+            ..SharedEstimateCache::default()
+        }
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&EstimateStore> {
+        self.store.as_ref()
+    }
+
+    /// Traffic/maintenance counters of the persistent tier (`None` without an
+    /// attached store).
+    pub fn persistent_stats(&self) -> Option<PersistentStoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
     /// Looks up the estimate cached under `key`, counting a hit or a miss.
+    /// With a persistent store attached, an in-memory miss reads through to
+    /// disk; a disk hit is promoted into the in-memory map (and counted as a
+    /// hit — the caller was served without computing).
     pub fn lookup(&self, key: Fingerprint) -> Option<NodeEstimate> {
-        let entries = self.entries.lock().unwrap();
-        match entries.get(&key) {
-            Some(estimate) => {
+        {
+            let entries = self.entries.lock().unwrap();
+            if let Some(estimate) = entries.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(estimate.clone())
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some(estimate.clone());
             }
         }
+        // Read through to the persistent tier outside the map lock: disk IO
+        // must not serialize concurrent in-memory lookups.
+        if let Some(estimate) = self.store.as_ref().and_then(|store| store.load(key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.entries
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| estimate.clone());
+            return Some(estimate);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Publishes a freshly computed estimate. The first publisher wins; a
     /// concurrent duplicate is dropped (both computed the same pure function,
-    /// so the values are identical anyway).
+    /// so the values are identical anyway). With a persistent store attached,
+    /// a first publish is also written back to disk.
     pub fn publish(&self, key: Fingerprint, estimate: NodeEstimate) {
-        self.entries.lock().unwrap().entry(key).or_insert(estimate);
+        let inserted = {
+            let mut entries = self.entries.lock().unwrap();
+            match entries.entry(key) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(estimate.clone());
+                    true
+                }
+            }
+        };
+        if inserted {
+            if let Some(store) = &self.store {
+                store.save(key, &estimate);
+            }
+        }
     }
 
     /// Number of cached node-per-device entries.
@@ -140,6 +202,7 @@ impl fmt::Debug for SharedEstimateCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SharedEstimateCache")
             .field("stats", &self.stats())
+            .field("persistent", &self.persistent_stats())
             .finish()
     }
 }

@@ -1,0 +1,633 @@
+//! Persistent, content-addressed compilation store for node estimates.
+//!
+//! The in-memory [`SharedEstimateCache`](crate::shared_cache::SharedEstimateCache)
+//! shares per-node QoR estimates *within* one process; this module persists
+//! that cache *across* processes. Consecutive CLI invocations, bench runs and
+//! CI steps compile the same TwoMm/ResNet nodes over and over — with an
+//! [`EstimateStore`] attached, the second process starts warm instead of
+//! recomputing everything.
+//!
+//! # Layout
+//!
+//! Entries live in a sharded directory tree under the store root:
+//!
+//! ```text
+//! <dir>/
+//!   ab/                          # first two hex digits of the key
+//!     ab12...cd34.est            # one entry per combined fingerprint
+//! ```
+//!
+//! The key is the same combined 128-bit fingerprint the in-memory cache uses
+//! ([`estimate_key`](crate::shared_cache::estimate_key)): the structural
+//! fingerprint of the node subtree folded with the full device description —
+//! so an entry written by one process is valid in any other process compiling
+//! the same structure for the same device, and for no other combination.
+//!
+//! # Entry format
+//!
+//! Every entry file is self-describing and self-checking:
+//!
+//! ```text
+//! magic "HIDAESTM" (8 bytes)
+//! format version   (u32 LE)     # bumping STORE_VERSION invalidates old files
+//! key.hi, key.lo   (u64 LE x2)  # must match the file's own name
+//! payload length   (u32 LE)
+//! payload          (encoded NodeEstimate, little-endian fields)
+//! checksum         (u64 LE, StableHasher over the payload)
+//! ```
+//!
+//! # Guarantees
+//!
+//! * **Atomicity** — entries are written to a temporary file in the store
+//!   root and published with an atomic `rename`, so a concurrent reader (or a
+//!   crash mid-write) can never observe a torn entry.
+//! * **Corruption tolerance** — any anomaly on read (short file, bad magic,
+//!   version mismatch, key mismatch, checksum mismatch, undecodable payload)
+//!   is a *miss*, never an error or a panic. Corrupt files are deleted
+//!   best-effort so they stop costing read attempts.
+//! * **Bounded size** — with [`EstimateStore::with_limit_bytes`], writes that
+//!   push the store past the budget trigger LRU-ish eviction: entries are
+//!   removed oldest-modification-time first until the store fits (reads touch
+//!   the entry's mtime best-effort, so recently used entries survive).
+
+use crate::latency::NodeEstimate;
+use crate::resource::Resources;
+use hida_ir_core::fingerprint::{Fingerprint, StableHasher};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// Bump to invalidate every previously written entry (e.g. when the
+/// [`NodeEstimate`] encoding or the estimator's cost model changes in a way
+/// the structural fingerprint cannot see). Old-version files read as misses.
+pub const STORE_VERSION: u32 = 1;
+
+/// File magic identifying a store entry.
+const MAGIC: [u8; 8] = *b"HIDAESTM";
+
+/// Fixed entry size before the variable-length payload: magic + version +
+/// key + payload length.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4;
+
+/// Entry file extension.
+const ENTRY_EXT: &str = "est";
+
+/// Traffic and maintenance counters of one [`EstimateStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistentStoreStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry on disk.
+    pub misses: u64,
+    /// Entries written (tempfile + rename publishes).
+    pub writes: u64,
+    /// Entries removed to stay under the size budget.
+    pub evictions: u64,
+    /// Malformed entries encountered (each also counted as a miss).
+    pub corrupt: u64,
+}
+
+impl PersistentStoreStats {
+    /// Adds `other`'s counters onto `self`.
+    pub fn accumulate(&mut self, other: &PersistentStoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writes += other.writes;
+        self.evictions += other.evictions;
+        self.corrupt += other.corrupt;
+    }
+}
+
+impl fmt::Display for PersistentStoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit / {} miss, {} written, {} evicted, {} corrupt",
+            self.hits, self.misses, self.writes, self.evictions, self.corrupt
+        )
+    }
+}
+
+/// A disk-backed, content-addressed store of serialized [`NodeEstimate`]s,
+/// keyed by the combined node-plus-device fingerprint. Safe to share between
+/// concurrent processes pointed at the same directory: writes are atomic
+/// renames and every read re-validates the entry it finds.
+#[derive(Debug)]
+pub struct EstimateStore {
+    dir: PathBuf,
+    limit_bytes: Option<u64>,
+    /// Running estimate of the store's on-disk size; corrected to the exact
+    /// total on every eviction sweep.
+    approx_bytes: AtomicU64,
+    /// Serializes eviction sweeps (concurrent sweeps would double-count).
+    evict_lock: Mutex<()>,
+    tmp_counter: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl EstimateStore {
+    /// Opens (creating if necessary) the store rooted at `dir` with no size
+    /// budget.
+    ///
+    /// # Errors
+    /// Propagates the failure to create or scan the root directory; a store
+    /// that cannot even be opened is a configuration error, unlike the
+    /// per-entry anomalies which all degrade to misses.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<EstimateStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let store = EstimateStore {
+            dir,
+            limit_bytes: None,
+            approx_bytes: AtomicU64::new(0),
+            evict_lock: Mutex::new(()),
+            tmp_counter: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        };
+        store.approx_bytes.store(
+            store.scan_entries().iter().map(|e| e.bytes).sum(),
+            Ordering::Relaxed,
+        );
+        Ok(store)
+    }
+
+    /// Sets the size budget in bytes (builder style). Writes that push the
+    /// store past the budget evict oldest-mtime entries until it fits again.
+    pub fn with_limit_bytes(mut self, limit: u64) -> Self {
+        self.limit_bytes = Some(limit);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured size budget, if any.
+    pub fn limit_bytes(&self) -> Option<u64> {
+        self.limit_bytes
+    }
+
+    /// The on-disk path an entry for `key` lives at (whether or not it
+    /// currently exists).
+    pub fn entry_path(&self, key: Fingerprint) -> PathBuf {
+        let name = key.to_string();
+        self.dir
+            .join(&name[..2])
+            .join(format!("{name}.{ENTRY_EXT}"))
+    }
+
+    /// Loads the estimate stored under `key`. Every anomaly — missing file,
+    /// torn or malformed entry, version or checksum mismatch — is a miss;
+    /// this method never fails.
+    pub fn load(&self, key: Fingerprint) -> Option<NodeEstimate> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&bytes, key) {
+            Some(estimate) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // LRU-ish: refresh the mtime so eviction prefers entries that
+                // have not been used recently. Best-effort only.
+                if let Ok(file) = fs::File::options().write(true).open(&path) {
+                    let _ = file.set_modified(SystemTime::now());
+                }
+                Some(estimate)
+            }
+            None => {
+                // The file exists but is not a valid entry: count it, delete
+                // it best-effort (self-healing), and treat it as a miss.
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists `estimate` under `key` with an atomic tempfile + rename
+    /// publish. An existing entry is left untouched (first publisher wins,
+    /// matching the in-memory cache); IO failures are swallowed — the store
+    /// is an optimization, never a correctness dependency.
+    pub fn save(&self, key: Fingerprint, estimate: &NodeEstimate) {
+        let path = self.entry_path(key);
+        if path.exists() {
+            return;
+        }
+        let bytes = encode_entry(key, estimate);
+        if self.write_atomic(&path, &bytes).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            let total = self
+                .approx_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed)
+                + bytes.len() as u64;
+            if let Some(limit) = self.limit_bytes {
+                if total > limit {
+                    self.enforce_budget(limit);
+                }
+            }
+        }
+    }
+
+    /// Lifetime counters of this store handle.
+    pub fn stats(&self) -> PersistentStoreStats {
+        PersistentStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exact on-disk size of every entry currently in the store, in bytes
+    /// (rescans the directory).
+    pub fn disk_bytes(&self) -> u64 {
+        self.scan_entries().iter().map(|e| e.bytes).sum()
+    }
+
+    /// Number of entries currently on disk (rescans the directory).
+    pub fn disk_entries(&self) -> usize {
+        self.scan_entries().len()
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some(shard) = path.parent() {
+            fs::create_dir_all(shard)?;
+        }
+        // The temporary lives in the store root: same filesystem as the final
+        // shard path, so the rename is atomic, and the name is unique per
+        // (process, handle, write) so concurrent writers never collide.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Removes oldest-mtime entries until the store fits `limit`. Concurrent
+    /// processes may race individual deletions; every outcome of that race
+    /// still leaves the store under budget, and a deleted entry is simply a
+    /// future miss.
+    fn enforce_budget(&self, limit: u64) {
+        let _guard = self.evict_lock.lock().unwrap();
+        let mut entries = self.scan_entries();
+        // Oldest first; paths tie-break so the order is total.
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        for entry in entries {
+            if total <= limit {
+                break;
+            }
+            if fs::remove_file(&entry.path).is_ok() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                total = total.saturating_sub(entry.bytes);
+            }
+        }
+        self.approx_bytes.store(total, Ordering::Relaxed);
+    }
+
+    /// Every entry file currently in the store (stale temporaries and foreign
+    /// files are ignored).
+    fn scan_entries(&self) -> Vec<DiskEntry> {
+        let mut entries = Vec::new();
+        let Ok(shards) = fs::read_dir(&self.dir) else {
+            return entries;
+        };
+        for shard in shards.flatten() {
+            let shard_path = shard.path();
+            if !shard_path.is_dir() {
+                continue;
+            }
+            let Ok(files) = fs::read_dir(&shard_path) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+                    continue;
+                }
+                let Ok(meta) = file.metadata() else { continue };
+                entries.push(DiskEntry {
+                    bytes: meta.len(),
+                    mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    path,
+                });
+            }
+        }
+        entries
+    }
+}
+
+/// One entry file as seen by an eviction sweep.
+struct DiskEntry {
+    bytes: u64,
+    mtime: SystemTime,
+    path: PathBuf,
+}
+
+/// Encodes a complete entry file for `estimate` under `key`: header, payload
+/// and checksum (see the module docs for the layout).
+pub fn encode_entry(key: Fingerprint, estimate: &NodeEstimate) -> Vec<u8> {
+    let payload = encode_estimate(estimate);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.hi.to_le_bytes());
+    out.extend_from_slice(&key.lo.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out
+}
+
+/// Decodes an entry file, validating magic, version, key, length and
+/// checksum. Any deviation returns `None` — a corrupt entry must read as a
+/// miss, never as an error.
+pub fn decode_entry(bytes: &[u8], key: Fingerprint) -> Option<NodeEstimate> {
+    if bytes.len() < HEADER_LEN + 8 || bytes[..8] != MAGIC {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[8..]);
+    if r.u32()? != STORE_VERSION {
+        return None;
+    }
+    if (Fingerprint {
+        hi: r.u64()?,
+        lo: r.u64()?,
+    }) != key
+    {
+        return None;
+    }
+    let payload_len = r.u32()? as usize;
+    let payload = r.bytes(payload_len)?;
+    let stored_checksum = u64::from_le_bytes(r.bytes(8)?.try_into().ok()?);
+    if checksum(payload) != stored_checksum || !r.is_empty() {
+        return None; // Bit rot, or trailing bytes this version never wrote.
+    }
+    decode_estimate(payload)
+}
+
+/// Checksum of an entry payload: both lanes of the workspace's stable hasher
+/// folded into one word.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write_bytes(payload);
+    let digest = hasher.finish();
+    digest.hi ^ digest.lo.rotate_left(32)
+}
+
+/// Encodes a [`NodeEstimate`] as the entry payload. Every numeric field is a
+/// fixed-width little-endian integer, so decoding reproduces the estimate
+/// bit for bit — the property the cross-process QoR-identity CI gate relies
+/// on.
+pub fn encode_estimate(estimate: &NodeEstimate) -> Vec<u8> {
+    let name = estimate.name.as_bytes();
+    let mut out = Vec::with_capacity(name.len() + 11 * 8);
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    for word in [
+        estimate.latency_cycles,
+        estimate.ii,
+        estimate.resources.dsp,
+        estimate.resources.bram_18k,
+        estimate.resources.lut,
+        estimate.resources.ff,
+        estimate.macs,
+        estimate.external_bytes,
+        estimate.parallelism,
+    ] {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an entry payload back into a [`NodeEstimate`]; `None` on any
+/// structural problem (short buffer, trailing garbage, invalid UTF-8 name).
+pub fn decode_estimate(payload: &[u8]) -> Option<NodeEstimate> {
+    let mut r = Reader::new(payload);
+    let name_len = r.u32()? as usize;
+    let name = String::from_utf8(r.bytes(name_len)?.to_vec()).ok()?;
+    let mut word = || r.i64();
+    let estimate = NodeEstimate {
+        name,
+        latency_cycles: word()?,
+        ii: word()?,
+        resources: Resources {
+            dsp: word()?,
+            bram_18k: word()?,
+            lut: word()?,
+            ff: word()?,
+        },
+        macs: word()?,
+        external_bytes: word()?,
+        parallelism: word()?,
+    };
+    if !r.is_empty() {
+        return None; // Trailing bytes: not something this version wrote.
+    }
+    Some(estimate)
+}
+
+/// Bounds-checked little-endian cursor over an entry's bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.bytes.len() < n {
+            return None;
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Some(head)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(self.u64()? as i64)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn sample_estimate() -> NodeEstimate {
+        NodeEstimate {
+            name: "conv1".to_string(),
+            latency_cycles: 12_345,
+            ii: 3,
+            resources: Resources::new(8, 16, 1200, 900),
+            macs: 65_536,
+            external_bytes: 4_096,
+            parallelism: 4,
+        }
+    }
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hida_store_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_and_stats() {
+        let dir = temp_store_dir("roundtrip");
+        let store = EstimateStore::open(&dir).unwrap();
+        let key = Fingerprint { hi: 0xabcd, lo: 42 };
+        assert!(store.load(key).is_none());
+        store.save(key, &sample_estimate());
+        let loaded = store.load(key).expect("entry persists");
+        assert_eq!(loaded, sample_estimate());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.corrupt, 0);
+        // A second handle on the same directory sees the entry: this is the
+        // cross-process path (same code, different process in CI).
+        let other = EstimateStore::open(&dir).unwrap();
+        assert_eq!(other.load(key).unwrap(), sample_estimate());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_first_publisher_wins() {
+        let dir = temp_store_dir("firstwins");
+        let store = EstimateStore::open(&dir).unwrap();
+        let key = Fingerprint { hi: 1, lo: 1 };
+        store.save(key, &sample_estimate());
+        let mut second = sample_estimate();
+        second.latency_cycles = 1;
+        store.save(key, &second);
+        assert_eq!(store.load(key).unwrap(), sample_estimate());
+        assert_eq!(store.stats().writes, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss_and_self_heals() {
+        let dir = temp_store_dir("corrupt");
+        let store = EstimateStore::open(&dir).unwrap();
+        let key = Fingerprint { hi: 2, lo: 2 };
+        store.save(key, &sample_estimate());
+        fs::write(store.entry_path(key), b"not an entry").unwrap();
+        assert!(store.load(key).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.misses, 1);
+        // Self-healed: the bad file is gone, so the next read is a plain miss.
+        assert!(!store.entry_path(key).exists());
+        assert!(store.load(key).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_decoding_rejects_every_tampering() {
+        let key = Fingerprint { hi: 77, lo: 88 };
+        let good = encode_entry(key, &sample_estimate());
+        assert_eq!(decode_entry(&good, key), Some(sample_estimate()));
+        // Wrong key (e.g. a file renamed by hand).
+        assert_eq!(decode_entry(&good, Fingerprint { hi: 77, lo: 89 }), None);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(decode_entry(&bad, key), None);
+        // Version mismatch.
+        let mut bad = good.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        assert_eq!(decode_entry(&bad, key), None);
+        // Flipped payload bit: checksum catches it.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 2] ^= 0x01;
+        assert_eq!(decode_entry(&bad, key), None);
+        // Truncation at every prefix length is a clean miss.
+        for len in 0..good.len() {
+            assert_eq!(decode_entry(&good[..len], key), None, "prefix {len}");
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(decode_entry(&bad, key), None);
+    }
+
+    #[test]
+    fn eviction_keeps_the_store_under_budget() {
+        let dir = temp_store_dir("evict");
+        let one_entry = encode_entry(Fingerprint { hi: 0, lo: 0 }, &sample_estimate()).len() as u64;
+        let store = EstimateStore::open(&dir)
+            .unwrap()
+            .with_limit_bytes(3 * one_entry);
+        for i in 0..10 {
+            store.save(Fingerprint { hi: 9, lo: i }, &sample_estimate());
+        }
+        assert!(
+            store.disk_bytes() <= 3 * one_entry,
+            "{}",
+            store.disk_bytes()
+        );
+        assert!(store.stats().evictions >= 7, "{:?}", store.stats());
+        assert!(store.disk_entries() >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_recovers_the_existing_size() {
+        let dir = temp_store_dir("reopen");
+        let store = EstimateStore::open(&dir).unwrap();
+        store.save(Fingerprint { hi: 5, lo: 5 }, &sample_estimate());
+        let expected = store.disk_bytes();
+        let reopened = EstimateStore::open(&dir).unwrap();
+        assert_eq!(reopened.approx_bytes.load(Ordering::Relaxed), expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

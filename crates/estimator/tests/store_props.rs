@@ -1,0 +1,160 @@
+//! Property tests for the persistent estimate store: exact round-trips of the
+//! on-disk entry encoding over arbitrary estimates, rejection (never a panic,
+//! never a wrong value) of version-mismatched and truncated entry files, and
+//! the size budget staying enforced across arbitrary write sequences.
+
+use hida_estimator::store::{decode_entry, encode_entry, EstimateStore, STORE_VERSION};
+use hida_estimator::{NodeEstimate, Resources};
+use hida_ir_core::Fingerprint;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Name fragments covering the hostile cases a length-prefixed string must
+/// survive: empty, multi-byte UTF-8, separators that look like path syntax,
+/// and bytes that collide with the entry magic.
+const NAME_PARTS: [&str; 6] = ["conv3x3", "", "τ-节点", "a+b/c", " ", "HIDAESTM"];
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hida_store_props_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds an estimate from sampled raw material: a name concatenated from
+/// `NAME_PARTS` indices and the nine numeric fields in declaration order.
+fn estimate_from(parts: &[usize], words: &[i64]) -> NodeEstimate {
+    NodeEstimate {
+        name: parts.iter().map(|&i| NAME_PARTS[i]).collect(),
+        latency_cycles: words[0],
+        ii: words[1],
+        resources: Resources::new(words[2], words[3], words[4], words[5]),
+        macs: words[6],
+        external_bytes: words[7],
+        parallelism: words[8],
+    }
+}
+
+const WORD_RANGE: std::ops::Range<i64> = -(1_i64 << 62)..(1_i64 << 62);
+
+proptest! {
+    /// Encoding an entry and decoding it under the same key reproduces the
+    /// estimate exactly — every numeric field bit-for-bit, the name
+    /// byte-for-byte. This is what makes a store hit indistinguishable from
+    /// recomputation, and thereby what makes warm-process QoR byte-identical.
+    #[test]
+    fn entry_encoding_round_trips_exactly(
+        key in (0_u64..u64::MAX, 0_u64..u64::MAX),
+        parts in prop::collection::vec(0_usize..NAME_PARTS.len(), 0..5),
+        words in prop::collection::vec(WORD_RANGE, 9..10),
+    ) {
+        let key = Fingerprint { hi: key.0, lo: key.1 };
+        let estimate = estimate_from(&parts, &words);
+        let bytes = encode_entry(key, &estimate);
+        prop_assert_eq!(decode_entry(&bytes, key), Some(estimate));
+    }
+
+    /// An entry written by any other format version is rejected, whatever the
+    /// version delta: stale estimates from an older (or newer) binary must be
+    /// misses, never be decoded under today's semantics.
+    #[test]
+    fn version_mismatch_is_rejected(
+        key in (0_u64..u64::MAX, 0_u64..u64::MAX),
+        parts in prop::collection::vec(0_usize..NAME_PARTS.len(), 0..4),
+        words in prop::collection::vec(WORD_RANGE, 9..10),
+        other_version in 0_u32..1024,
+    ) {
+        prop_assume!(other_version != STORE_VERSION);
+        let key = Fingerprint { hi: key.0, lo: key.1 };
+        let mut bytes = encode_entry(key, &estimate_from(&parts, &words));
+        // The version field sits right after the 8-byte magic.
+        bytes[8..12].copy_from_slice(&other_version.to_le_bytes());
+        prop_assert_eq!(decode_entry(&bytes, key), None);
+    }
+
+    /// Every strict prefix of a valid entry fails to decode: a torn write of
+    /// any length is detected, never misread as a shorter valid entry.
+    #[test]
+    fn any_truncation_is_rejected(
+        key in (0_u64..u64::MAX, 0_u64..u64::MAX),
+        parts in prop::collection::vec(0_usize..NAME_PARTS.len(), 0..4),
+        words in prop::collection::vec(WORD_RANGE, 9..10),
+        cut in 0_u64..u64::MAX,
+    ) {
+        let key = Fingerprint { hi: key.0, lo: key.1 };
+        let bytes = encode_entry(key, &estimate_from(&parts, &words));
+        let len = (cut % bytes.len() as u64) as usize;
+        prop_assert_eq!(decode_entry(&bytes[..len], key), None);
+    }
+
+    /// A version-mismatched file on disk degrades to a counted miss and is
+    /// self-healed: the slot becomes writable again and the fresh entry loads.
+    #[test]
+    fn stale_version_on_disk_degrades_to_miss_then_heals(
+        raw_key in (0_u64..u64::MAX, 0_u64..u64::MAX),
+        words in prop::collection::vec(WORD_RANGE, 9..10),
+    ) {
+        let key = Fingerprint { hi: raw_key.0, lo: raw_key.1 };
+        let estimate = estimate_from(&[0], &words);
+        let dir = temp_store_dir("version");
+        let store = EstimateStore::open(&dir).expect("open store");
+        let mut bytes = encode_entry(key, &estimate);
+        bytes[8..12].copy_from_slice(&(STORE_VERSION + 1).to_le_bytes());
+        let path = store.entry_path(key);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        prop_assert_eq!(store.load(key), None);
+        let stats = store.stats();
+        prop_assert_eq!((stats.corrupt, stats.misses), (1, 1));
+        store.save(key, &estimate);
+        prop_assert_eq!(store.load(key), Some(estimate));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// After every save under a size budget the store fits the budget, each
+    /// eviction accounts for exactly one earlier write, and every surviving
+    /// entry still decodes to the estimate it was saved with.
+    #[test]
+    fn eviction_keeps_the_store_under_budget(
+        num_entries in 1_usize..24,
+        limit_entries in 1_u64..8,
+        words in prop::collection::vec(WORD_RANGE, 9..10),
+    ) {
+        let dir = temp_store_dir("budget");
+        let base = estimate_from(&[0], &words);
+        let entry_bytes = encode_entry(Fingerprint { hi: 1, lo: 1 }, &base).len() as u64;
+        let limit = limit_entries * entry_bytes;
+        let store = EstimateStore::open(&dir)
+            .expect("open store")
+            .with_limit_bytes(limit);
+        for i in 0..num_entries {
+            // Same-length estimates: keys differ, payload size does not, so
+            // `limit` is an exact entry-count budget.
+            let key = Fingerprint { hi: 0x10 + i as u64, lo: i as u64 };
+            store.save(key, &base);
+            prop_assert!(
+                store.disk_bytes() <= limit,
+                "store exceeds budget after save {}: {} > {}",
+                i,
+                store.disk_bytes(),
+                limit
+            );
+        }
+        let stats = store.stats();
+        prop_assert_eq!(stats.writes, num_entries as u64);
+        prop_assert_eq!(stats.evictions, num_entries as u64 - store.disk_entries() as u64);
+        for i in 0..num_entries {
+            let key = Fingerprint { hi: 0x10 + i as u64, lo: i as u64 };
+            if store.entry_path(key).exists() {
+                prop_assert_eq!(store.load(key), Some(base.clone()));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
