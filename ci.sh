@@ -216,6 +216,53 @@ run_persist() {
   rm -f "${cold_json}" "${warm_json}" "${cold_txt}" "${warm_txt}" "${corrupt_json}"
 }
 
+# The adaptive design-space explorer must recover the exhaustive frontier
+# with strictly fewer compilations, and its --no-timing report must be
+# byte-identical across job counts for a fixed seed.
+run_dse() {
+  echo "==> [dse] dse_frontier: explorer vs exhaustive fig10 reduced grid"
+  local dse_json
+  dse_json=$(mktemp /tmp/BENCH_dse.XXXXXX.json)
+  # The binary itself exits nonzero unless coverage is 1.0 with savings;
+  # grep the report anyway so a silent schema drift also fails the gate.
+  cargo run --release -q -p hida-bench --bin dse_frontier -- \
+    --jobs 4 --json "${dse_json}" > /dev/null
+  if ! grep -q '"frontier_coverage": 1.000' "${dse_json}"; then
+    echo "explorer missed part of the exhaustive Pareto frontier"
+    cat "${dse_json}"
+    exit 1
+  fi
+  if ! grep -qE '"compiles_saved": [1-9]' "${dse_json}"; then
+    echo "explorer compiled the whole grid — surrogate pruning never fired"
+    cat "${dse_json}"
+    exit 1
+  fi
+  rm -f "${dse_json}"
+
+  echo "==> [dse] hida-opt --explore: --jobs 1 vs --jobs 4 must be byte-identical"
+  local explore_variants explore1 explore4
+  explore_variants=$(mktemp /tmp/explore_variants.XXXXXX.txt)
+  cat > "${explore_variants}" <<'EOF'
+explore{seed=7,extras=1}
+construct,lower,tiling{factor=2},parallelize{max-factor=1,device=zu3eg}
+construct,lower,tiling{factor=2},parallelize{max-factor=4,device=zu3eg}
+construct,lower,tiling{factor=2},parallelize{max-factor=16,device=zu3eg}
+construct,lower,tiling{factor=8},parallelize{max-factor=1,device=zu3eg}
+construct,lower,tiling{factor=8},parallelize{max-factor=4,device=zu3eg}
+construct,lower,tiling{factor=8},parallelize{max-factor=16,device=zu3eg}
+EOF
+  explore1=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --explore "${explore_variants}" --jobs 1 --no-timing)
+  explore4=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --explore "${explore_variants}" --jobs 4 --no-timing)
+  if [[ "${explore1}" != "${explore4}" ]]; then
+    echo "--explore outputs diverged between --jobs 1 and --jobs 4"
+    diff <(echo "${explore1}") <(echo "${explore4}") || true
+    exit 1
+  fi
+  rm -f "${explore_variants}"
+}
+
 stage="${1:-all}"
 case "${stage}" in
   build) run_build ;;
@@ -223,15 +270,17 @@ case "${stage}" in
   determinism) run_determinism ;;
   cache) run_cache ;;
   persist) run_persist ;;
+  dse) run_dse ;;
   all)
     run_build
     run_test
     run_determinism
     run_cache
     run_persist
+    run_dse
     ;;
   *)
-    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | all)"
+    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | dse | all)"
     exit 2
     ;;
 esac

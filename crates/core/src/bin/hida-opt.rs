@@ -21,7 +21,10 @@
 //! worker-thread budget.
 
 use hida::sweep::{json_escape, JobBudget, SweepEngine, SweepOutcome, SweepPoint};
-use hida::{EstimateStore, PersistentStoreStats, SharedCacheStats, SharedEstimateCache, Workload};
+use hida::{
+    EstimateStore, ExploreConfig, ExploreOutcome, Explorer, PersistentStoreStats, SharedCacheStats,
+    SharedEstimateCache, Workload,
+};
 use hida_dialects::analysis::ComputeProfile;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
@@ -47,6 +50,14 @@ usage: hida-opt [OPTIONS]
                         design points compile concurrently on the sweep pool
                         and share per-node QoR estimates through the
                         content-addressed cross-compilation cache
+  --explore <file>      guided design-space exploration over the same sweep
+                        grammar: pipeline lines span a knob lattice, and a
+                        Pareto-frontier explorer compiles only candidates
+                        whose surrogate QoR bound is not already dominated.
+                        An optional first line configures the search:
+                        explore{budget=N,seed=N,objectives=throughput+dsp+bram,
+                        extras=N,max-generations=N}. Exploration order is
+                        deterministic for a fixed seed at any --jobs
   --size <n>            PolyBench problem size (default: the kernel's own)
   --jobs <n>            worker threads for per-node pass work and QoR
                         estimation; under --sweep, the total budget split
@@ -130,6 +141,7 @@ struct Args {
     pipeline: Option<String>,
     preset: Option<String>,
     sweep: Option<String>,
+    explore: Option<String>,
     size: Option<i64>,
     jobs: Option<usize>,
     device: Option<String>,
@@ -157,6 +169,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--pipeline" => args.pipeline = Some(value_of("--pipeline")?),
             "--preset" => args.preset = Some(value_of("--preset")?),
             "--sweep" => args.sweep = Some(value_of("--sweep")?),
+            "--explore" => args.explore = Some(value_of("--explore")?),
             "--size" => {
                 let raw = value_of("--size")?;
                 let size: i64 = raw
@@ -538,12 +551,317 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         println!("{}", sweep_json(workload_name, &outcome));
     }
     if !outcome.all_ok() {
-        return Err("one or more sweep points failed (see the report above)".to_string());
+        let failed = outcome.failed_labels();
+        say!(
+            "\nFAILED: {} of {} sweep points ({})",
+            failed.len(),
+            outcome.points.len(),
+            failed.join(", ")
+        );
+        return Err(format!(
+            "{} of {} sweep points failed (see the report above)",
+            failed.len(),
+            outcome.points.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Renders an exploration's generations, frontier, compiled points and the
+/// aggregated cache counters as one machine-readable JSON object — the
+/// `--sweep` schema extended with `frontier`, per-generation counters and
+/// `compiles_saved`.
+fn explore_json(workload: &str, outcome: &ExploreOutcome) -> String {
+    let generations: Vec<String> = outcome
+        .generations
+        .iter()
+        .map(|g| {
+            format!(
+                "{{\"index\":{},\"proposed\":{},\"pruned\":{},\"compiled\":{},\
+                 \"failed\":{},\"frontier_size\":{},\"probe_hits\":{},\"probe_nodes\":{}}}",
+                g.index,
+                g.proposed,
+                g.pruned,
+                g.compiled,
+                g.failed,
+                g.frontier_size,
+                g.probe_hits,
+                g.probe_nodes
+            )
+        })
+        .collect();
+    let frontier: Vec<String> = outcome
+        .frontier
+        .points()
+        .iter()
+        .map(|p| {
+            let objectives: Vec<String> = p.objectives.iter().map(i64::to_string).collect();
+            format!(
+                "{{\"label\":\"{}\",\"pipeline\":\"{}\",\"objectives\":[{}],\
+                 \"throughput\":{:.3},\"dsp\":{},\"bram_18k\":{},\"generation\":{}}}",
+                json_escape(&p.label),
+                json_escape(&p.pipeline),
+                objectives.join(","),
+                p.throughput,
+                p.dsp,
+                p.bram_18k,
+                p.generation
+            )
+        })
+        .collect();
+    let points: Vec<String> = outcome
+        .points
+        .iter()
+        .map(|point| match &point.result {
+            Ok(result) => format!(
+                "{{\"label\":\"{}\",\"pipeline\":\"{}\",\"seconds\":{:.6},\
+                 \"throughput\":{:.3},\"dsp\":{},\"bram_18k\":{},\"shared_cache\":{}}}",
+                json_escape(&point.label),
+                json_escape(&point.pipeline),
+                point.seconds,
+                result.estimate.throughput(),
+                result.estimate.resources.dsp,
+                result.estimate.resources.bram_18k,
+                result
+                    .shared_estimator_cache
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), shared_cache_json),
+            ),
+            Err(e) => format!(
+                "{{\"label\":\"{}\",\"pipeline\":\"{}\",\"seconds\":{:.6},\"error\":\"{}\"}}",
+                json_escape(&point.label),
+                json_escape(&point.pipeline),
+                point.seconds,
+                json_escape(&e.to_string()),
+            ),
+        })
+        .collect();
+    let seeds: Vec<String> = outcome
+        .seeds
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!(
+        "{{\"workload\":\"{}\",\"explore\":{{\"pool_jobs\":{},\"point_jobs\":{},\
+         \"adaptive\":{},\"num_candidates\":{},\"probed\":{},\"pruned\":{},\
+         \"compiled\":{},\"compiles_saved\":{},\"wall_seconds\":{:.6},\
+         \"seeds\":[{}],\"generations\":[{}],\"frontier\":[{}],\"points\":[{}],\
+         \"shared_cache_totals\":{},\"persistent_cache\":{}}}}}",
+        json_escape(workload),
+        outcome.budget.pool_jobs,
+        outcome.budget.point_jobs,
+        outcome.adaptive,
+        outcome.num_candidates,
+        outcome.probed,
+        outcome.pruned,
+        outcome.points.len(),
+        outcome.compiles_saved(),
+        outcome.wall_seconds,
+        seeds.join(","),
+        generations.join(","),
+        frontier.join(","),
+        points.join(","),
+        outcome
+            .shared_cache
+            .as_ref()
+            .map_or_else(|| "null".to_string(), shared_cache_json),
+        persistent_json(outcome.persistent_cache.as_ref()),
+    )
+}
+
+/// `--explore` mode: the sweep file's pipeline lines span a knob lattice and
+/// the Pareto-frontier explorer walks it generation by generation, compiling
+/// only candidates whose surrogate QoR bound is not already dominated.
+fn run_explore(args: &Args) -> Result<(), String> {
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if args.stats_json {
+                eprintln!($($arg)*)
+            } else {
+                println!($($arg)*)
+            }
+        };
+    }
+    if args.pipeline.is_some() || args.preset.is_some() {
+        return Err("--explore is exclusive with --pipeline and --preset".to_string());
+    }
+    if args.sweep.is_some() {
+        return Err("--explore is exclusive with --sweep".to_string());
+    }
+    let workload_name = args
+        .workload
+        .as_deref()
+        .ok_or("missing --workload (try --list-workloads)")?;
+    let workload = resolve_workload(workload_name)
+        .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing()))?;
+    let path = args
+        .explore
+        .as_deref()
+        .expect("caller checked --explore is set");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("--explore: cannot read '{path}': {e}"))?;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| (i + 1, line.trim()))
+        .filter(|(_, line)| !line.is_empty() && !line.starts_with('#'))
+        .collect();
+    // An optional leading `explore{...}` line configures the search; every
+    // other line is a pipeline variant, exactly as under --sweep.
+    let (config, variants) = match lines.split_first() {
+        Some(((line_no, first), rest)) if first.starts_with("explore") => {
+            let config = ExploreConfig::parse(first)
+                .map_err(|e| format!("explore config on line {line_no}: {e}"))?;
+            (config, rest)
+        }
+        _ => (ExploreConfig::default(), &lines[..]),
+    };
+    if variants.is_empty() {
+        return Err(format!("--explore: '{path}' contains no pipeline variants"));
+    }
+
+    let workload = match workload {
+        CliWorkload::Polybench(kernel) => {
+            let size = args.size.unwrap_or_else(|| kernel.default_size());
+            say!("workload: {} (PolyBench, size {size})", kernel.name());
+            Workload::PolybenchSized(kernel, size)
+        }
+        CliWorkload::Model(model) => {
+            say!("workload: {} (DNN model)", model.name());
+            Workload::Model(model)
+        }
+    };
+    let mut points = Vec::new();
+    for (index, (line_no, line)) in variants.iter().enumerate() {
+        let parsed = Pipeline::parse(&registry(), line)
+            .map_err(|e| format!("explore variant on line {line_no}: {e}"))?;
+        let device_name = args
+            .device
+            .clone()
+            .or_else(|| pipeline_device(&parsed))
+            .unwrap_or_else(|| "vu9p-slr".to_string());
+        let options = HidaOptions {
+            device: resolve_device(&device_name)?,
+            ..HidaOptions::default()
+        };
+        points.push(
+            SweepPoint::new(format!("p{:02}", index + 1), workload, options).with_pipeline(*line),
+        );
+    }
+
+    let total_jobs = args.jobs.unwrap_or_else(hida_ir_core::default_jobs);
+    let objectives: Vec<&str> = config.objectives.iter().map(|o| o.name()).collect();
+    say!("explore: {} candidate points from {path}", points.len());
+    say!(
+        "objectives: {} (seed {}, budget {})",
+        objectives.join("+"),
+        config.seed,
+        config
+            .budget
+            .map_or_else(|| "unbounded".to_string(), |b| b.to_string())
+    );
+    if !args.no_timing {
+        say!("jobs: {total_jobs} total, adaptive per-point rebalancing");
+    }
+    let mut explorer = Explorer::new(config)
+        .with_total_jobs(total_jobs)
+        .with_verification(!args.no_verify);
+    if let Some(cache) = build_cache(args)? {
+        explorer = explorer.with_cache(cache);
+    }
+    let outcome = explorer.explore(&points)?;
+
+    say!("seeds: {}", outcome.seeds.join(", "));
+    for g in &outcome.generations {
+        say!(
+            "generation {}: proposed {}, pruned by surrogate {}, compiled {}, failed {}, \
+             frontier {}",
+            g.index,
+            g.proposed,
+            g.pruned,
+            g.compiled,
+            g.failed,
+            g.frontier_size
+        );
+    }
+
+    for point in &outcome.points {
+        say!("\npoint {}: {}", point.label, point.pipeline);
+        match &point.result {
+            Ok(result) => {
+                say!(
+                    "  qor: throughput {:.3} samples/s, DSP {}, BRAM-18K {}, LUT {}",
+                    result.estimate.throughput(),
+                    result.estimate.resources.dsp,
+                    result.estimate.resources.bram_18k,
+                    result.estimate.resources.lut
+                );
+                if !args.no_timing {
+                    say!(
+                        "  time: {:.4}s, jobs {}, shared cache {}",
+                        point.seconds,
+                        point.point_jobs,
+                        result.shared_estimator_cache.unwrap_or_default()
+                    );
+                }
+            }
+            Err(e) => say!("  error: {e}"),
+        }
+    }
+
+    say!("\n# Pareto frontier ({} points)", outcome.frontier.len());
+    for p in outcome.frontier.points() {
+        say!(
+            "  {}: throughput {:.3} samples/s, DSP {}, BRAM-18K {} (generation {})",
+            p.label,
+            p.throughput,
+            p.dsp,
+            p.bram_18k,
+            p.generation
+        );
+    }
+    say!(
+        "\nprobed {} of {} candidates: {} pruned by surrogate, {} compiled \
+         ({} compilations saved)",
+        outcome.probed,
+        outcome.num_candidates,
+        outcome.pruned,
+        outcome.points.len(),
+        outcome.compiles_saved()
+    );
+    if !args.no_timing {
+        say!("exploration wall-clock {:.4}s", outcome.wall_seconds);
+        if let Some(cache) = &outcome.shared_cache {
+            say!("cross-compilation estimate cache: {cache}");
+        }
+        if let Some(persistent) = &outcome.persistent_cache {
+            say!("persistent estimate store: {persistent}");
+        }
+    }
+    if args.stats_json {
+        println!("{}", explore_json(workload_name, &outcome));
+    }
+    if !outcome.all_ok() {
+        let failed = outcome.failed_labels();
+        say!(
+            "\nFAILED: {} of {} compiled points ({})",
+            failed.len(),
+            outcome.points.len(),
+            failed.join(", ")
+        );
+        return Err(format!(
+            "{} of {} compiled points failed (see the report above)",
+            failed.len(),
+            outcome.points.len()
+        ));
     }
     Ok(())
 }
 
 fn run(args: Args) -> Result<(), String> {
+    if args.explore.is_some() {
+        return run_explore(&args);
+    }
     if args.sweep.is_some() {
         return run_sweep(&args);
     }

@@ -43,6 +43,7 @@
 //! assert_eq!(sequential.hls_cpp, parallel.hls_cpp);
 //! ```
 
+pub mod explore;
 pub mod sweep;
 
 pub use hida_baselines as baselines;
@@ -55,6 +56,9 @@ pub use hida_ir_core as ir;
 pub use hida_opt as opt;
 pub use hida_sim as sim;
 
+pub use explore::{
+    ExploreConfig, ExploreOutcome, Explorer, Frontier, FrontierPoint, GenerationStats, Objective,
+};
 pub use hida_estimator::device::FpgaDevice;
 pub use hida_estimator::report::DesignEstimate;
 pub use hida_estimator::shared_cache::{SharedCacheStats, SharedEstimateCache};
@@ -68,7 +72,9 @@ pub use hida_ir_core::pass::{PassOption, PassStatistics, PipelineState};
 pub use hida_ir_core::registry::{PassRegistry, PipelineError};
 pub use hida_ir_core::PassInvocation;
 pub use hida_opt::{registry, registry_listing, HidaOptions, ParallelMode, Pipeline};
-pub use sweep::{JobBudget, SweepEngine, SweepOutcome, SweepPoint, SweepPointOutcome};
+pub use sweep::{
+    AdaptiveBudget, JobBudget, SweepEngine, SweepOutcome, SweepPoint, SweepPointOutcome,
+};
 
 use hida_dataflow_ir::structural::ScheduleOp;
 use hida_estimator::dataflow::DataflowEstimator;
@@ -94,6 +100,19 @@ impl Workload {
         match self {
             Workload::Model(m) => m.name().to_string(),
             Workload::Polybench(k) | Workload::PolybenchSized(k, _) => k.name().to_string(),
+        }
+    }
+
+    /// The widest per-point worker parallelism this workload can usefully
+    /// exploit: per-node pass work and estimation fan out over dataflow
+    /// nodes, so a deep DNN pipeline scales to ~its layer count while a
+    /// two-node PolyBench kernel saturates almost immediately. Used by
+    /// [`sweep::AdaptiveBudget`] to cap per-point thread claims.
+    pub fn node_parallel_width(&self) -> usize {
+        match self {
+            Workload::Model(Model::ResNet18) => 20,
+            Workload::Model(_) => 8,
+            Workload::Polybench(_) | Workload::PolybenchSized(..) => 2,
         }
     }
 }
@@ -128,6 +147,36 @@ pub struct CompilationResult {
     /// cache, when one was attached with [`Compiler::with_shared_estimates`]
     /// (e.g. by the [`sweep`] engine). `None` for isolated compilations.
     pub shared_estimator_cache: Option<SharedCacheStats>,
+}
+
+/// A workload lowered through the pass pipeline but not yet estimated or
+/// emitted — the output of [`Compiler::lower`].
+#[derive(Debug)]
+pub struct LoweredDesign {
+    /// The IR context holding the lowered design.
+    pub ctx: Context,
+    /// The module op.
+    pub module: OpId,
+    /// The compiled function.
+    pub func: OpId,
+    /// The optimized structural schedule.
+    pub schedule: ScheduleOp,
+}
+
+/// Builds `workload`'s IR into a fresh module inside `ctx`; returns the
+/// module and the workload function.
+fn build_workload(ctx: &mut Context, workload: Workload) -> (OpId, OpId) {
+    let module = ctx.create_module(&workload.name());
+    let func = match workload {
+        Workload::Model(model) => hida_frontend::nn::build_model(ctx, module, model),
+        Workload::Polybench(kernel) => {
+            hida_frontend::polybench::build_kernel(ctx, module, kernel, kernel.default_size())
+        }
+        Workload::PolybenchSized(kernel, n) => {
+            hida_frontend::polybench::build_kernel(ctx, module, kernel, n)
+        }
+    };
+    (module, func)
 }
 
 /// The end-to-end HIDA compiler.
@@ -252,20 +301,37 @@ impl Compiler {
     /// Propagates front-end or optimization failures.
     pub fn compile(&self, workload: Workload) -> IrResult<CompilationResult> {
         let mut ctx = Context::new();
-        let module = ctx.create_module(&workload.name());
-        let func = match workload {
-            Workload::Model(model) => hida_frontend::nn::build_model(&mut ctx, module, model),
-            Workload::Polybench(kernel) => hida_frontend::polybench::build_kernel(
-                &mut ctx,
-                module,
-                kernel,
-                kernel.default_size(),
-            ),
-            Workload::PolybenchSized(kernel, n) => {
-                hida_frontend::polybench::build_kernel(&mut ctx, module, kernel, n)
-            }
-        };
+        let (module, func) = build_workload(&mut ctx, workload);
         self.compile_func(ctx, module, func)
+    }
+
+    /// Runs the front end and the pass pipeline only — no QoR estimation, no
+    /// emission. This is the cheap "probe" half of a compilation the
+    /// design-space explorer scores candidates with: the returned design
+    /// holds the optimized structural schedule, ready for
+    /// [`hida_estimator::surrogate::design_bound`].
+    ///
+    /// # Errors
+    /// Propagates front-end or optimization failures.
+    pub fn lower(&self, workload: Workload) -> IrResult<LoweredDesign> {
+        let mut ctx = Context::new();
+        let (module, func) = build_workload(&mut ctx, workload);
+        let mut pipeline = match &self.pipeline {
+            Some(text) => Pipeline::parse(&registry(), text)
+                .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?,
+            None => Pipeline::from_options(&self.options),
+        }
+        .with_jobs(self.jobs);
+        if !self.verification {
+            pipeline = pipeline.with_verification(false);
+        }
+        let schedule = pipeline.run(&mut ctx, func)?;
+        Ok(LoweredDesign {
+            ctx,
+            module,
+            func,
+            schedule,
+        })
     }
 
     /// Compiles an already-constructed function (advanced use: custom front-ends).

@@ -129,10 +129,17 @@ impl JobBudget {
     /// Splits `total_jobs` threads over `num_points` design points. Point-
     /// level parallelism is preferred (independent compilations scale
     /// perfectly); leftover capacity becomes per-point worker threads. The
-    /// product `pool_jobs * point_jobs` never exceeds `total_jobs`.
+    /// product `pool_jobs * point_jobs` never exceeds `total_jobs`; a budget
+    /// smaller than the point count degrades to `pool_jobs = budget,
+    /// point_jobs = 1` (never oversubscribed, never a zeroed lane), and an
+    /// empty sweep collapses to the sequential budget instead of handing the
+    /// whole thread budget to a lane that will never run.
     pub fn for_points(total_jobs: usize, num_points: usize) -> Self {
+        if num_points == 0 {
+            return JobBudget::sequential();
+        }
         let total = total_jobs.max(1);
-        let pool = total.min(num_points.max(1));
+        let pool = total.min(num_points);
         JobBudget {
             pool_jobs: pool,
             point_jobs: (total / pool).max(1),
@@ -145,6 +152,79 @@ impl JobBudget {
     }
 }
 
+/// A job budget that re-splits `point_jobs` *per design point* as the sweep's
+/// pending-point pool drains, subsuming the static [`JobBudget::for_points`]
+/// split.
+///
+/// A static split freezes `pool_jobs x point_jobs` before the first compile,
+/// so once fewer points remain than pool lanes, the surplus lanes idle while
+/// each straggler still runs with its original (small) `point_jobs`. The
+/// adaptive budget instead asks, at the moment a point starts compiling, how
+/// many points are still pending: the fewer there are, the more worker
+/// threads each one gets (`total_jobs / min(pending, pool_jobs)`), capped by
+/// the point's own useful width ([`crate::Workload::node_parallel_width`] —
+/// a big DNN point can use node-level parallelism that a two-node PolyBench
+/// point cannot).
+///
+/// Re-splitting never changes *results*: `point_jobs` only sets the worker
+/// count for per-node pass work and estimation, which is byte-identical at
+/// any job count (the PR 4 determinism guarantee CI enforces).
+#[derive(Debug)]
+pub struct AdaptiveBudget {
+    total_jobs: usize,
+    pool_jobs: usize,
+    pending: std::sync::atomic::AtomicUsize,
+}
+
+impl AdaptiveBudget {
+    /// Creates an adaptive budget for `num_points` points over `total_jobs`
+    /// threads. The pool width is fixed (same choice as
+    /// [`JobBudget::for_points`]); only the per-point split adapts.
+    pub fn new(total_jobs: usize, num_points: usize) -> Self {
+        let total = total_jobs.max(1);
+        AdaptiveBudget {
+            total_jobs: total,
+            pool_jobs: JobBudget::for_points(total, num_points).pool_jobs,
+            pending: std::sync::atomic::AtomicUsize::new(num_points),
+        }
+    }
+
+    /// Design points compiling concurrently (fixed for the whole sweep).
+    pub fn pool_jobs(&self) -> usize {
+        self.pool_jobs
+    }
+
+    /// The total thread budget being split.
+    pub fn total_jobs(&self) -> usize {
+        self.total_jobs
+    }
+
+    /// Points that have not yet claimed their worker split.
+    pub fn pending(&self) -> usize {
+        self.pending.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Claims the next point's worker-thread count: `total_jobs` divided by
+    /// the number of points that can still compete for threads (never more
+    /// than the pool width), capped at `width_cap` — the widest parallelism
+    /// the point's workload can actually exploit.
+    pub fn claim(&self, width_cap: usize) -> usize {
+        let before = self
+            .pending
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        let competing = before.max(1).min(self.pool_jobs).max(1);
+        (self.total_jobs / competing).max(1).min(width_cap.max(1))
+    }
+
+    /// The static split this budget started from (for reports).
+    pub fn nominal(&self) -> JobBudget {
+        JobBudget {
+            pool_jobs: self.pool_jobs,
+            point_jobs: (self.total_jobs / self.pool_jobs.max(1)).max(1),
+        }
+    }
+}
+
 /// Everything produced for one design point.
 #[derive(Debug)]
 pub struct SweepPointOutcome {
@@ -154,6 +234,10 @@ pub struct SweepPointOutcome {
     pub pipeline: String,
     /// Wall-clock seconds this point took (front-end through emission).
     pub seconds: f64,
+    /// Worker threads this point compiled with. Fixed by the budget for
+    /// static sweeps; chosen at claim time under an [`AdaptiveBudget`]
+    /// (timing detail — results are byte-identical at any value).
+    pub point_jobs: usize,
     /// The compilation result, or the error that stopped it.
     pub result: IrResult<CompilationResult>,
 }
@@ -177,12 +261,26 @@ pub struct SweepOutcome {
     pub persistent_cache: Option<PersistentStoreStats>,
     /// Worker/steal counters of the sweep-level pool.
     pub pool: ParallelStats,
+    /// Whether per-point worker counts were re-split adaptively as the pool
+    /// drained (see [`AdaptiveBudget`]); `budget` then reports the nominal
+    /// static split the adaptive schedule started from.
+    pub adaptive: bool,
 }
 
 impl SweepOutcome {
     /// True when every point compiled successfully.
     pub fn all_ok(&self) -> bool {
         self.points.iter().all(|p| p.result.is_ok())
+    }
+
+    /// Labels of the points whose compilation failed, in declaration order
+    /// (the CLI's failure summary and nonzero-exit decision).
+    pub fn failed_labels(&self) -> Vec<&str> {
+        self.points
+            .iter()
+            .filter(|p| p.result.is_err())
+            .map(|p| p.label.as_str())
+            .collect()
     }
 
     /// Sum of the per-point wall-clock times (the time a sequential loop
@@ -221,6 +319,7 @@ pub struct SweepEngine {
     share_estimates: bool,
     cache: Option<Arc<SharedEstimateCache>>,
     verification: bool,
+    adaptive: bool,
 }
 
 impl Default for SweepEngine {
@@ -239,13 +338,30 @@ impl SweepEngine {
             share_estimates: true,
             cache: None,
             verification: true,
+            adaptive: false,
         }
     }
 
     /// Sets an explicit job budget (builder style). Without one, the budget
     /// is [`JobBudget::for_points`] of the machine's available parallelism.
+    /// An explicit budget disables adaptive re-splitting.
     pub fn with_budget(mut self, budget: JobBudget) -> Self {
         self.budget = Some(budget);
+        self.adaptive = false;
+        self
+    }
+
+    /// Enables per-point re-splitting of the worker budget as the pool drains
+    /// (builder style): each point claims its `point_jobs` from an
+    /// [`AdaptiveBudget`] when it starts compiling, capped by its workload's
+    /// [`Workload::node_parallel_width`]. Results are byte-identical to the
+    /// static split; only the thread schedule (and therefore wall clock)
+    /// changes.
+    pub fn with_adaptive_budget(mut self, enabled: bool) -> Self {
+        self.adaptive = enabled;
+        if enabled {
+            self.budget = None;
+        }
         self
     }
 
@@ -290,9 +406,16 @@ impl SweepEngine {
     /// order. Per-point failures are recorded, not propagated — one infeasible
     /// design point must not kill the other 99.
     pub fn run(&self, points: &[SweepPoint]) -> SweepOutcome {
-        let budget = self.budget.unwrap_or_else(|| {
-            JobBudget::for_points(self.total_jobs.unwrap_or_else(default_jobs), points.len())
-        });
+        let total_jobs = self.total_jobs.unwrap_or_else(default_jobs);
+        let adaptive = self
+            .adaptive
+            .then(|| AdaptiveBudget::new(total_jobs, points.len()));
+        let budget = match &adaptive {
+            Some(a) => a.nominal(),
+            None => self
+                .budget
+                .unwrap_or_else(|| JobBudget::for_points(total_jobs, points.len())),
+        };
         let cache = if self.share_estimates {
             Some(
                 self.cache
@@ -305,8 +428,12 @@ impl SweepEngine {
         let start = Instant::now();
         let (outcomes, pool) = run_batch(budget.pool_jobs, points, |point| {
             let point_start = Instant::now();
+            let point_jobs = match &adaptive {
+                Some(a) => a.claim(point.workload.node_parallel_width()),
+                None => budget.point_jobs,
+            };
             let mut compiler = Compiler::new(point.options.clone())
-                .with_jobs(budget.point_jobs)
+                .with_jobs(point_jobs)
                 .with_verification(self.verification);
             if let Some(cache) = &cache {
                 compiler = compiler.with_shared_estimates(cache.clone());
@@ -319,6 +446,7 @@ impl SweepEngine {
                 label: point.label.clone(),
                 pipeline: point.pipeline_text(),
                 seconds: point_start.elapsed().as_secs_f64(),
+                point_jobs,
                 result,
             }
         });
@@ -329,6 +457,77 @@ impl SweepEngine {
             persistent_cache: cache.as_ref().and_then(|c| c.persistent_stats()),
             shared_cache: cache.map(|c| c.stats()),
             pool,
+            adaptive: adaptive.is_some(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_points_handles_degenerate_budgets() {
+        // Zero budget clamps to one thread.
+        assert_eq!(JobBudget::for_points(0, 12), JobBudget::sequential());
+        // One thread is always the sequential split.
+        assert_eq!(JobBudget::for_points(1, 12), JobBudget::sequential());
+        // Budget smaller than the point count: one lane per thread, 1-wide.
+        let small = JobBudget::for_points(3, 12);
+        assert_eq!(
+            small,
+            JobBudget {
+                pool_jobs: 3,
+                point_jobs: 1
+            }
+        );
+        assert!(small.total() <= 3);
+        // Non-divisible budget never oversubscribes.
+        let uneven = JobBudget::for_points(7, 3);
+        assert_eq!(uneven.pool_jobs, 3);
+        assert_eq!(uneven.point_jobs, 2);
+        assert!(uneven.total() <= 7);
+        // No lane is ever zeroed.
+        for total in 0..10 {
+            for points in 0..10 {
+                let b = JobBudget::for_points(total, points);
+                assert!(
+                    b.pool_jobs >= 1 && b.point_jobs >= 1,
+                    "{total}/{points}: {b:?}"
+                );
+                assert!(b.total() <= total.max(1), "{total}/{points}: {b:?}");
+            }
+        }
+        // An empty sweep gets the sequential budget, not an 8-wide idle lane.
+        assert_eq!(JobBudget::for_points(8, 0), JobBudget::sequential());
+    }
+
+    #[test]
+    fn adaptive_budget_widens_points_as_the_pool_drains() {
+        // 8 threads over 4 points: lanes start at the static 2-wide split,
+        // then widen claim by claim as fewer points remain pending, until the
+        // last straggler gets the whole budget.
+        let budget = AdaptiveBudget::new(8, 4);
+        assert_eq!(budget.pool_jobs(), 4);
+        assert_eq!(budget.nominal(), JobBudget::for_points(8, 4));
+        assert_eq!(budget.claim(usize::MAX), 2); // 4 pending: 8/4
+        assert_eq!(budget.claim(usize::MAX), 2); // 3 pending: 8/3
+        assert_eq!(budget.claim(usize::MAX), 4); // 2 pending: 8/2
+        assert_eq!(budget.claim(usize::MAX), 8); // last point: everything
+        assert_eq!(budget.pending(), 0);
+        // Claims past the pool never panic and never hand out zero.
+        assert!(budget.claim(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn adaptive_budget_respects_the_workload_width_cap() {
+        let budget = AdaptiveBudget::new(16, 1);
+        // A narrow PolyBench-style point cannot use 16 workers.
+        assert_eq!(budget.claim(2), 2);
+        let budget = AdaptiveBudget::new(16, 1);
+        assert_eq!(budget.claim(20), 16);
+        // Zero caps are clamped, not propagated.
+        let budget = AdaptiveBudget::new(4, 1);
+        assert_eq!(budget.claim(0), 1);
     }
 }

@@ -1,0 +1,99 @@
+//! Property tests for the explorer's Pareto frontier: dominance is a strict
+//! partial order, incremental insert/prune matches a brute-force
+//! non-dominated filter, a non-dominated insert is never dropped, and the
+//! frontier of a point set is invariant under permutation of the insertion
+//! order.
+
+use hida::explore::{dominates, Frontier, FrontierPoint};
+use proptest::prelude::*;
+
+/// Brute-force reference: the non-dominated subset of `vectors`, as a sorted,
+/// deduplicated-by-identity multiset of vectors (ties are kept, exact
+/// duplicates all survive — mirroring the frontier's tie policy).
+fn reference_frontier(vectors: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    let mut keep: Vec<Vec<i64>> = vectors
+        .iter()
+        .filter(|v| !vectors.iter().any(|other| dominates(other, v)))
+        .cloned()
+        .collect();
+    keep.sort();
+    keep
+}
+
+/// Builds a frontier by inserting `vectors` in order; labels are unique per
+/// index so ties stay distinguishable.
+fn build_frontier(vectors: &[Vec<i64>]) -> Frontier {
+    let mut frontier = Frontier::new();
+    for (i, v) in vectors.iter().enumerate() {
+        frontier.insert(FrontierPoint::from_vector(format!("p{i:03}"), v.clone()));
+    }
+    frontier
+}
+
+proptest! {
+    /// Dominance is irreflexive, asymmetric and transitive on sampled
+    /// vector triples — a strict partial order.
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a in prop::collection::vec(0_i64..6, 3..4),
+        b in prop::collection::vec(0_i64..6, 3..4),
+        c in prop::collection::vec(0_i64..6, 3..4),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    /// Incremental insert/prune computes exactly the brute-force
+    /// non-dominated set (ties included).
+    #[test]
+    fn incremental_frontier_matches_brute_force(
+        vectors in prop::collection::vec(prop::collection::vec(0_i64..8, 3..4), 1..24),
+    ) {
+        let frontier = build_frontier(&vectors);
+        prop_assert_eq!(frontier.vectors(), reference_frontier(&vectors));
+    }
+
+    /// Inserting a point no current frontier member dominates always
+    /// succeeds and the point is present afterwards — insert/prune never
+    /// drops a non-dominated point.
+    #[test]
+    fn non_dominated_insert_is_never_dropped(
+        vectors in prop::collection::vec(prop::collection::vec(0_i64..8, 3..4), 1..16),
+        candidate in prop::collection::vec(0_i64..8, 3..4),
+    ) {
+        let mut frontier = build_frontier(&vectors);
+        prop_assume!(!frontier.would_prune(&candidate));
+        let inserted = frontier.insert(FrontierPoint::from_vector("probe", candidate.clone()));
+        prop_assert!(inserted);
+        prop_assert!(frontier.vectors().contains(&candidate));
+        // And the insert kept the invariant: nothing on the frontier is
+        // dominated by anything else on it.
+        let vectors_after = frontier.vectors();
+        for v in &vectors_after {
+            prop_assert!(!vectors_after.iter().any(|other| dominates(other, v)));
+        }
+    }
+
+    /// The frontier of a shuffled point set is permutation-invariant: a
+    /// sampled permutation of the insertion order yields an identical
+    /// (sorted) vector set.
+    #[test]
+    fn frontier_is_permutation_invariant(
+        vectors in prop::collection::vec(prop::collection::vec(0_i64..8, 3..4), 1..20),
+        swaps in prop::collection::vec((0_usize..20, 0_usize..20), 0..32),
+    ) {
+        let mut shuffled = vectors.clone();
+        for (i, j) in swaps {
+            let (i, j) = (i % shuffled.len(), j % shuffled.len());
+            shuffled.swap(i, j);
+        }
+        let original = build_frontier(&vectors);
+        let permuted = build_frontier(&shuffled);
+        prop_assert_eq!(original.vectors(), permuted.vectors());
+    }
+}

@@ -154,13 +154,80 @@ pub fn estimate_body(ctx: &Context, op: OpId, device: &FpgaDevice) -> NodeEstima
     estimate_profile(ctx, op, &profile, device)
 }
 
-/// Estimates a node given an already-extracted compute profile.
-pub fn estimate_profile(
-    ctx: &Context,
-    op: OpId,
-    profile: &ComputeProfile,
-    device: &FpgaDevice,
-) -> NodeEstimate {
+/// An optimistic per-node QoR bound: `latency_lb` never exceeds the latency
+/// [`estimate_body`] would report for the same IR, while `resources` *equals*
+/// the exact model's answer (the resource half is pure profile arithmetic
+/// with no timing analysis). The design-space explorer prunes a candidate
+/// only when a compiled frontier point dominates this bound — which is then
+/// guaranteed to dominate the true estimate too, so pruning can never drop a
+/// Pareto-optimal design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeBound {
+    /// Lower bound on [`NodeEstimate::latency_cycles`].
+    pub latency_lb: i64,
+    /// Exactly [`NodeEstimate::resources`] (cheap, timing-free arithmetic).
+    pub resources: Resources,
+}
+
+/// Computes the optimistic bound for `op`'s body. The entire per-node model
+/// is pure arithmetic over `BodyShape` — trip counts, the port-limited II,
+/// pipeline depth, and the burst-efficiency transfer term are all exact given
+/// the lowered IR — so `latency_lb` *equals* `estimate_body`'s latency
+/// (`tests::optimistic_bound_never_exceeds_the_exact_model` pins it). The
+/// bound's slack is entirely design-level: the dataflow estimator multiplies
+/// node latencies by unbalanced-path stall factors and an oversubscription
+/// penalty, both `>= 1`, which a per-node bound cannot see. The true design
+/// interval is therefore always `>=` the largest `latency_lb`.
+pub fn optimistic_body_bound(ctx: &Context, op: OpId, device: &FpgaDevice) -> NodeBound {
+    let estimate = estimate_body(ctx, op, device);
+    NodeBound {
+        latency_lb: estimate.latency_cycles,
+        resources: estimate.resources,
+    }
+}
+
+/// Pure-IR quantities feeding both the exact node model and the optimistic
+/// bound: unroll structure, trip counts, port-limited II, pipeline depth,
+/// external traffic and the resource-model inputs. Everything here is exact
+/// arithmetic over the profile and the IR attributes — no estimation.
+struct BodyShape {
+    total_unroll: i64,
+    pipelined: bool,
+    is_float: bool,
+    bits: u32,
+    /// Trip count after unrolling (secondary loop nests folded in).
+    trip_total: i64,
+    /// Initiation interval limited by on-chip memory ports.
+    ii: i64,
+    /// Bytes moved to/from external memory per frame.
+    external_bytes: i64,
+    has_external: bool,
+    /// Smallest tile dimension, when the body was tiled.
+    min_tile: Option<i64>,
+    /// Pipeline depth from operator latency and the unroll reduction tree.
+    depth: i64,
+    /// Address-generation DSP overhead for fine-grained external access.
+    addr_dsp: i64,
+}
+
+/// The exact resource vector for a body shape — shared verbatim by
+/// [`estimate_profile`] and [`optimistic_body_bound`].
+fn shape_resources(profile: &ComputeProfile, shape: &BodyShape) -> Resources {
+    compute_resources(
+        profile
+            .muls_per_iter
+            .max(if profile.macs > 0 { 1 } else { 0 }),
+        profile.adds_per_iter.max(1),
+        profile.divs_per_iter,
+        profile.mem_per_iter.max(2),
+        shape.is_float,
+        shape.bits,
+        shape.total_unroll,
+        shape.addr_dsp,
+    )
+}
+
+fn body_shape(ctx: &Context, op: OpId, profile: &ComputeProfile) -> BodyShape {
     let rank = profile.loop_dims.len();
     let unroll = transforms::unroll_factors_of(ctx, op, rank);
     let unroll: Vec<i64> = (0..rank)
@@ -260,18 +327,52 @@ pub fn estimate_profile(
         depth += 18;
     }
 
-    let compute_latency = if pipelined {
-        ii * (trip_total - 1) + depth
+    let min_tile = tile_sizes.as_ref().and_then(|t| t.iter().copied().min());
+
+    // Address-generation DSP overhead for fine-grained external access.
+    let addr_dsp = if has_external {
+        match min_tile {
+            Some(t) if t <= 2 => 4,
+            Some(t) if t <= 4 => 2,
+            Some(t) if t <= 8 => 1,
+            _ => 0,
+        }
     } else {
-        trip_total * depth.max(2)
+        0
+    };
+
+    BodyShape {
+        total_unroll,
+        pipelined,
+        is_float,
+        bits,
+        trip_total,
+        ii,
+        external_bytes,
+        has_external,
+        min_tile,
+        depth,
+        addr_dsp,
+    }
+}
+
+/// Estimates a node given an already-extracted compute profile.
+pub fn estimate_profile(
+    ctx: &Context,
+    op: OpId,
+    profile: &ComputeProfile,
+    device: &FpgaDevice,
+) -> NodeEstimate {
+    let shape = body_shape(ctx, op, profile);
+    let compute_latency = if shape.pipelined {
+        shape.ii * (shape.trip_total - 1) + shape.depth
+    } else {
+        shape.trip_total * shape.depth.max(2)
     };
 
     // External memory transfer, overlapped with compute (tile load/store hiding).
-    let transfer_latency = if has_external {
-        let min_tile = tile_sizes
-            .as_ref()
-            .and_then(|t| t.iter().copied().min())
-            .unwrap_or(i64::MAX);
+    let transfer_latency = if shape.has_external {
+        let min_tile = shape.min_tile.unwrap_or(i64::MAX);
         // Short bursts waste bandwidth.
         let burst_efficiency = if min_tile >= 32 {
             1.0
@@ -284,47 +385,26 @@ pub fn estimate_profile(
         } else {
             0.2
         };
-        let cycles = external_bytes as f64 / (device.axi_bytes_per_cycle * burst_efficiency);
+        let cycles = shape.external_bytes as f64 / (device.axi_bytes_per_cycle * burst_efficiency);
         device.axi_latency + cycles.ceil() as i64
     } else {
         0
     };
-    let latency =
-        compute_latency.max(transfer_latency) + if has_external { device.axi_latency } else { 0 };
-
-    // Address-generation DSP overhead for fine-grained external access.
-    let addr_dsp = if has_external {
-        match tile_sizes.as_ref().and_then(|t| t.iter().copied().min()) {
-            Some(t) if t <= 2 => 4,
-            Some(t) if t <= 4 => 2,
-            Some(t) if t <= 8 => 1,
-            _ => 0,
-        }
-    } else {
-        0
-    };
-
-    let resources = compute_resources(
-        profile
-            .muls_per_iter
-            .max(if profile.macs > 0 { 1 } else { 0 }),
-        profile.adds_per_iter.max(1),
-        profile.divs_per_iter,
-        profile.mem_per_iter.max(2),
-        is_float,
-        bits,
-        total_unroll,
-        addr_dsp,
-    );
+    let latency = compute_latency.max(transfer_latency)
+        + if shape.has_external {
+            device.axi_latency
+        } else {
+            0
+        };
 
     NodeEstimate {
         name: node_name(ctx, op),
         latency_cycles: latency.max(1),
-        ii: ii.max(1),
-        resources,
+        ii: shape.ii.max(1),
+        resources: shape_resources(profile, &shape),
         macs: profile.macs,
-        external_bytes,
-        parallelism: total_unroll,
+        external_bytes: shape.external_bytes,
+        parallelism: shape.total_unroll,
     }
 }
 
@@ -441,6 +521,27 @@ mod tests {
         assert_eq!(info.banks(), 4);
         assert_eq!(info.kind, MemoryKind::Bram);
         assert!(info.resources().bram_18k > 0);
+    }
+
+    #[test]
+    fn optimistic_bound_never_exceeds_the_exact_model() {
+        for device in [FpgaDevice::zu3eg(), FpgaDevice::vu9p_slr()] {
+            for (partition, unroll) in [(1, 1), (1, 8), (4, 1), (8, 8), (16, 4), (16, 16)] {
+                let mut ctx = Context::new();
+                let func = vector_add(&mut ctx, partition, unroll);
+                let exact = estimate_body(&ctx, func, &device);
+                let bound = optimistic_body_bound(&ctx, func, &device);
+                assert!(
+                    bound.latency_lb <= exact.latency_cycles,
+                    "bound {} exceeds exact {} (partition={partition}, unroll={unroll}, {})",
+                    bound.latency_lb,
+                    exact.latency_cycles,
+                    device.name,
+                );
+                assert!(bound.latency_lb >= 1);
+                assert_eq!(bound.resources, exact.resources);
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod report;
 pub mod resource;
 pub mod shared_cache;
 pub mod store;
+pub mod surrogate;
 
 pub use dataflow::DataflowEstimator;
 pub use device::FpgaDevice;
@@ -45,3 +46,4 @@ pub use report::DesignEstimate;
 pub use resource::Resources;
 pub use shared_cache::{estimate_fingerprint, SharedCacheStats, SharedEstimateCache};
 pub use store::{EstimateStore, PersistentStoreStats, STORE_VERSION};
+pub use surrogate::{design_bound, DesignBound};

@@ -156,6 +156,30 @@ impl SharedEstimateCache {
         None
     }
 
+    /// Probes the cache under `key` **without** counting hit/miss traffic and
+    /// without computing anything on a miss — the surrogate query the
+    /// design-space explorer uses to pre-score candidate points before
+    /// deciding whether to compile them. With a persistent store attached, an
+    /// in-memory miss still reads through to disk (and promotes the entry),
+    /// so estimates written by earlier processes feed the surrogate too. The
+    /// main hit/miss counters stay untouched: a probe is a question about the
+    /// cache, not a request served by it.
+    pub fn peek(&self, key: Fingerprint) -> Option<NodeEstimate> {
+        {
+            let entries = self.entries.lock().unwrap();
+            if let Some(estimate) = entries.get(&key) {
+                return Some(estimate.clone());
+            }
+        }
+        let estimate = self.store.as_ref().and_then(|store| store.load(key))?;
+        self.entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| estimate.clone());
+        Some(estimate)
+    }
+
     /// Publishes a freshly computed estimate. The first publisher wins; a
     /// concurrent duplicate is dropped (both computed the same pure function,
     /// so the values are identical anyway). With a persistent store attached,
@@ -313,6 +337,20 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn peek_probes_without_counting_traffic() {
+        let cache = SharedEstimateCache::new();
+        let key = Fingerprint { hi: 4, lo: 2 };
+        assert!(cache.peek(key).is_none());
+        cache.publish(key, estimate("probed"));
+        assert_eq!(cache.peek(key).unwrap().name, "probed");
+        // Neither the miss nor the hit moved the lookup counters.
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]
