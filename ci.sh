@@ -2,7 +2,7 @@
 # Staged tier-1 verification plus lint gate. Run from the repository root.
 #
 #   ./ci.sh            run every stage (the full pre-merge gate)
-#   ./ci.sh <stage>    run one stage: build | test | determinism | cache | persist
+#   ./ci.sh <stage>    run one stage: build | test | determinism | cache | persist | dse | fuzz
 #
 # Mirrors .github/workflows/ci.yml, where each CI job runs exactly one
 # `./ci.sh <stage>` — keeping local runs and CI the same by construction.
@@ -263,6 +263,27 @@ EOF
   rm -f "${explore_variants}"
 }
 
+# Differential fuzzing: seeded random affine dataflow workloads pushed through
+# random registry pipelines, each case checked against the functional
+# interpreter (semantics oracle), the estimator/simulator interval model, and
+# the textual round-trip invariant. Failures dump the offending `.hir`.
+run_fuzz() {
+  echo "==> [fuzz] hida-fuzz differential driver (200 cases, fixed seed)"
+  cargo run --release -q -p hida-fuzz -- \
+    --cases 200 --seed 20240815 --dump-dir target/fuzz-failures
+
+  echo "==> [fuzz] golden file: --input examples/two_mm.hir must re-emit byte-identically"
+  local reemit
+  reemit=$(mktemp /tmp/two_mm_reemit.XXXXXX.hir)
+  cargo run --release -q -p hida --bin hida-opt -- \
+    --input examples/two_mm.hir --no-timing --emit-ir "${reemit}" > /dev/null
+  if ! diff examples/two_mm.hir "${reemit}"; then
+    echo "examples/two_mm.hir did not survive a parse/re-emit round trip"
+    exit 1
+  fi
+  rm -f "${reemit}"
+}
+
 stage="${1:-all}"
 case "${stage}" in
   build) run_build ;;
@@ -271,6 +292,7 @@ case "${stage}" in
   cache) run_cache ;;
   persist) run_persist ;;
   dse) run_dse ;;
+  fuzz) run_fuzz ;;
   all)
     run_build
     run_test
@@ -278,9 +300,10 @@ case "${stage}" in
     run_cache
     run_persist
     run_dse
+    run_fuzz
     ;;
   *)
-    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | dse | all)"
+    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | dse | fuzz | all)"
     exit 2
     ;;
 esac

@@ -28,8 +28,8 @@ use hida::{
 use hida_dialects::analysis::ComputeProfile;
 use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
-use hida_frontend::nn::{build_model, Model};
-use hida_frontend::polybench::{build_kernel, PolybenchKernel};
+use hida_frontend::nn::Model;
+use hida_frontend::polybench::PolybenchKernel;
 use hida_ir_core::pass::PassStatistics;
 use hida_ir_core::{AnalysisCacheStats, Context, OpId};
 use hida_opt::registry::{registry, registry_listing};
@@ -41,6 +41,14 @@ usage: hida-opt [OPTIONS]
 
   --workload <name>     workload to compile (see --list-workloads); accepts
                         paper names (2mm, resnet-18) and identifiers (two_mm)
+  --input <file.hir>    compile a module from textual IR instead of a built-in
+                        workload (exclusive with --workload; grammar in
+                        docs/IR_SYNTAX.md). The file's first func.func is the
+                        workload function; works with --pipeline, --sweep and
+                        --explore alike
+  --emit-ir <file>      write the workload module as textual IR before the
+                        pipeline runs (single compilations only); the output
+                        re-parses with --input to the same design
   --pipeline <text>     textual pass pipeline, e.g.
                         \"construct,fusion,lower,tiling{factor=4},parallelize\"
   --preset <name>       pipeline preset when --pipeline is omitted:
@@ -135,9 +143,79 @@ fn workload_listing() -> String {
     )
 }
 
+/// What the CLI was asked to compile: a built-in workload or a `.hir` file.
+enum CliSource {
+    Builtin(CliWorkload),
+    TextIr { name: String, text: String },
+}
+
+/// Resolves `--workload`/`--input` (exclusive) into a compile source.
+///
+/// `--input` files are parsed here so syntax errors surface with line/column
+/// before any compilation machinery spins up.
+fn resolve_source(args: &Args) -> Result<CliSource, String> {
+    match (&args.input, &args.workload) {
+        (Some(_), Some(_)) => Err("--input and --workload are exclusive".to_string()),
+        (Some(path), None) => {
+            if args.size.is_some() {
+                return Err("--size applies to built-in workloads, not --input".to_string());
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("--input: cannot read '{path}': {e}"))?;
+            hida_ir_core::parse_module(&text).map_err(|e| format!("--input '{path}': {e}"))?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("input")
+                .to_string();
+            Ok(CliSource::TextIr { name, text })
+        }
+        (None, Some(workload_name)) => resolve_workload(workload_name)
+            .map(CliSource::Builtin)
+            .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing())),
+        (None, None) => Err("missing --workload or --input (try --list-workloads)".to_string()),
+    }
+}
+
+/// The name reported in JSON output: the raw `--workload` spelling (what the
+/// user typed, kept byte-stable) or the `--input` file stem.
+fn source_name(source: &CliSource, args: &Args) -> String {
+    match source {
+        CliSource::TextIr { name, .. } => name.clone(),
+        CliSource::Builtin(_) => args
+            .workload
+            .clone()
+            .expect("builtin source has --workload"),
+    }
+}
+
+/// Converts a resolved source into the compiler's `Workload` plus the
+/// human-readable report line describing it.
+fn source_workload(source: CliSource, args: &Args) -> (Workload, String) {
+    match source {
+        CliSource::Builtin(CliWorkload::Polybench(kernel)) => {
+            let size = args.size.unwrap_or_else(|| kernel.default_size());
+            (
+                Workload::PolybenchSized(kernel, size),
+                format!("workload: {} (PolyBench, size {size})", kernel.name()),
+            )
+        }
+        CliSource::Builtin(CliWorkload::Model(model)) => (
+            Workload::Model(model),
+            format!("workload: {} (DNN model)", model.name()),
+        ),
+        CliSource::TextIr { name, text } => {
+            let line = format!("workload: {name} (textual IR)");
+            (Workload::text_ir(name, text), line)
+        }
+    }
+}
+
 #[derive(Default)]
 struct Args {
     workload: Option<String>,
+    input: Option<String>,
+    emit_ir: Option<String>,
     pipeline: Option<String>,
     preset: Option<String>,
     sweep: Option<String>,
@@ -166,6 +244,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match arg.as_str() {
             "--workload" => args.workload = Some(value_of("--workload")?),
+            "--input" => args.input = Some(value_of("--input")?),
+            "--emit-ir" => args.emit_ir = Some(value_of("--emit-ir")?),
             "--pipeline" => args.pipeline = Some(value_of("--pipeline")?),
             "--preset" => args.preset = Some(value_of("--preset")?),
             "--sweep" => args.sweep = Some(value_of("--sweep")?),
@@ -444,12 +524,10 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     if args.pipeline.is_some() || args.preset.is_some() {
         return Err("--sweep is exclusive with --pipeline and --preset".to_string());
     }
-    let workload_name = args
-        .workload
-        .as_deref()
-        .ok_or("missing --workload (try --list-workloads)")?;
-    let workload = resolve_workload(workload_name)
-        .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing()))?;
+    if args.emit_ir.is_some() {
+        return Err("--emit-ir applies to single compilations, not --sweep".to_string());
+    }
+    let source = resolve_source(args)?;
     let path = args
         .sweep
         .as_deref()
@@ -465,17 +543,10 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         return Err(format!("--sweep: '{path}' contains no pipeline variants"));
     }
 
-    let workload = match workload {
-        CliWorkload::Polybench(kernel) => {
-            let size = args.size.unwrap_or_else(|| kernel.default_size());
-            say!("workload: {} (PolyBench, size {size})", kernel.name());
-            Workload::PolybenchSized(kernel, size)
-        }
-        CliWorkload::Model(model) => {
-            say!("workload: {} (DNN model)", model.name());
-            Workload::Model(model)
-        }
-    };
+    let workload_name = source_name(&source, args);
+    let workload_name = workload_name.as_str();
+    let (workload, workload_line) = source_workload(source, args);
+    say!("{workload_line}");
     let mut points = Vec::new();
     for (index, line) in lines.iter().enumerate() {
         // Validate early: a typo on line 7 should fail before compiling lines
@@ -492,7 +563,8 @@ fn run_sweep(args: &Args) -> Result<(), String> {
             ..HidaOptions::default()
         };
         points.push(
-            SweepPoint::new(format!("p{:02}", index + 1), workload, options).with_pipeline(*line),
+            SweepPoint::new(format!("p{:02}", index + 1), workload.clone(), options)
+                .with_pipeline(*line),
         );
     }
 
@@ -688,12 +760,10 @@ fn run_explore(args: &Args) -> Result<(), String> {
     if args.sweep.is_some() {
         return Err("--explore is exclusive with --sweep".to_string());
     }
-    let workload_name = args
-        .workload
-        .as_deref()
-        .ok_or("missing --workload (try --list-workloads)")?;
-    let workload = resolve_workload(workload_name)
-        .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing()))?;
+    if args.emit_ir.is_some() {
+        return Err("--emit-ir applies to single compilations, not --explore".to_string());
+    }
+    let source = resolve_source(args)?;
     let path = args
         .explore
         .as_deref()
@@ -720,17 +790,10 @@ fn run_explore(args: &Args) -> Result<(), String> {
         return Err(format!("--explore: '{path}' contains no pipeline variants"));
     }
 
-    let workload = match workload {
-        CliWorkload::Polybench(kernel) => {
-            let size = args.size.unwrap_or_else(|| kernel.default_size());
-            say!("workload: {} (PolyBench, size {size})", kernel.name());
-            Workload::PolybenchSized(kernel, size)
-        }
-        CliWorkload::Model(model) => {
-            say!("workload: {} (DNN model)", model.name());
-            Workload::Model(model)
-        }
-    };
+    let workload_name = source_name(&source, args);
+    let workload_name = workload_name.as_str();
+    let (workload, workload_line) = source_workload(source, args);
+    say!("{workload_line}");
     let mut points = Vec::new();
     for (index, (line_no, line)) in variants.iter().enumerate() {
         let parsed = Pipeline::parse(&registry(), line)
@@ -745,7 +808,8 @@ fn run_explore(args: &Args) -> Result<(), String> {
             ..HidaOptions::default()
         };
         points.push(
-            SweepPoint::new(format!("p{:02}", index + 1), workload, options).with_pipeline(*line),
+            SweepPoint::new(format!("p{:02}", index + 1), workload.clone(), options)
+                .with_pipeline(*line),
         );
     }
 
@@ -877,12 +941,15 @@ fn run(args: Args) -> Result<(), String> {
             }
         };
     }
-    let workload_name = args
-        .workload
-        .as_deref()
-        .ok_or("missing --workload (try --list-workloads)")?;
-    let workload = resolve_workload(workload_name)
-        .ok_or_else(|| format!("unknown workload '{workload_name}'\n{}", workload_listing()))?;
+    let source = resolve_source(&args)?;
+    let workload_name = match &source {
+        CliSource::Builtin(_) => args
+            .workload
+            .clone()
+            .expect("builtin source has --workload"),
+        CliSource::TextIr { name, .. } => name.clone(),
+    };
+    let workload_name = workload_name.as_str();
     let pipeline_text = match (&args.pipeline, &args.preset) {
         (Some(_), Some(_)) => return Err("--pipeline and --preset are exclusive".to_string()),
         (Some(text), None) => text.clone(),
@@ -910,18 +977,20 @@ fn run(args: Args) -> Result<(), String> {
     pipeline = pipeline.with_jobs(jobs);
 
     let mut ctx = Context::new();
-    let module = ctx.create_module(workload_name);
-    let func: OpId = match workload {
-        CliWorkload::Polybench(kernel) => {
-            let size = args.size.unwrap_or_else(|| kernel.default_size());
-            say!("workload: {} (PolyBench, size {size})", kernel.name());
-            build_kernel(&mut ctx, module, kernel, size)
-        }
-        CliWorkload::Model(model) => {
-            say!("workload: {} (DNN model)", model.name());
-            build_model(&mut ctx, module, model)
-        }
-    };
+    // Build through the same `build_workload` path the sweep/explore compilers
+    // use, so `--emit-ir` output matches the library builders byte for byte.
+    let (workload, workload_line) = source_workload(source, &args);
+    say!("{workload_line}");
+    let (module, func): (OpId, OpId) =
+        hida::build_workload(&mut ctx, workload).map_err(|e| e.to_string())?;
+    // --emit-ir captures the module as the pipeline will see it: the printed
+    // text re-parses (with --input) to a structurally identical design.
+    if let Some(path) = &args.emit_ir {
+        let text = hida_ir_core::printer::print_op(&ctx, module);
+        std::fs::write(path, &text)
+            .map_err(|e| format!("--emit-ir: cannot write '{path}': {e}"))?;
+        say!("emitted IR: {path}");
+    }
     say!("pipeline: {}", pipeline.to_text());
     if !args.no_timing {
         say!("jobs: {jobs}");

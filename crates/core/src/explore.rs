@@ -703,7 +703,7 @@ impl Explorer {
                 if let Some(text) = &point.pipeline {
                     probe = probe.with_pipeline(text.clone());
                 }
-                match probe.lower(point.workload) {
+                match probe.lower(point.workload.clone()) {
                     Ok(design) => {
                         let bound = design_bound(
                             &design.ctx,

@@ -83,8 +83,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// A workload accepted by the compiler: a neural network from the model zoo, a
-/// PolyBench kernel, or an IR function the caller built directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// PolyBench kernel, or a module parsed from textual IR.
+///
+/// `Clone` is cheap for every variant (`TextIr` holds its text behind an
+/// `Arc`), so the sweep and explore engines clone freely per design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Workload {
     /// A neural network from the PyTorch-style model zoo.
     Model(Model),
@@ -92,14 +95,30 @@ pub enum Workload {
     Polybench(PolybenchKernel),
     /// A PolyBench kernel with an explicit square problem size.
     PolybenchSized(PolybenchKernel, i64),
+    /// A module parsed from textual IR (`hida-opt --input file.hir`).
+    TextIr {
+        /// Display name (typically the input file stem).
+        name: Arc<str>,
+        /// Module text, re-parsed into each compilation's fresh context.
+        text: Arc<str>,
+    },
 }
 
 impl Workload {
+    /// A textual-IR workload from a display name and module text.
+    pub fn text_ir(name: impl Into<Arc<str>>, text: impl Into<Arc<str>>) -> Self {
+        Workload::TextIr {
+            name: name.into(),
+            text: text.into(),
+        }
+    }
+
     /// Human-readable workload name.
     pub fn name(&self) -> String {
         match self {
             Workload::Model(m) => m.name().to_string(),
             Workload::Polybench(k) | Workload::PolybenchSized(k, _) => k.name().to_string(),
+            Workload::TextIr { name, .. } => name.to_string(),
         }
     }
 
@@ -108,11 +127,14 @@ impl Workload {
     /// nodes, so a deep DNN pipeline scales to ~its layer count while a
     /// two-node PolyBench kernel saturates almost immediately. Used by
     /// [`sweep::AdaptiveBudget`] to cap per-point thread claims.
+    ///
+    /// External IR gets the PolyBench width: the node count is unknown until
+    /// parse time, and hand-written kernels look like PolyBench, not DNNs.
     pub fn node_parallel_width(&self) -> usize {
         match self {
             Workload::Model(Model::ResNet18) => 20,
             Workload::Model(_) => 8,
-            Workload::Polybench(_) | Workload::PolybenchSized(..) => 2,
+            Workload::Polybench(_) | Workload::PolybenchSized(..) | Workload::TextIr { .. } => 2,
         }
     }
 }
@@ -165,18 +187,48 @@ pub struct LoweredDesign {
 
 /// Builds `workload`'s IR into a fresh module inside `ctx`; returns the
 /// module and the workload function.
-fn build_workload(ctx: &mut Context, workload: Workload) -> (OpId, OpId) {
-    let module = ctx.create_module(&workload.name());
-    let func = match workload {
-        Workload::Model(model) => hida_frontend::nn::build_model(ctx, module, model),
+///
+/// # Errors
+/// Fails for [`Workload::TextIr`] when the module text does not parse or
+/// contains no `func.func`; builder-based workloads are infallible.
+pub fn build_workload(ctx: &mut Context, workload: Workload) -> IrResult<(OpId, OpId)> {
+    match workload {
+        Workload::Model(model) => {
+            let module = ctx.create_module(model.name());
+            Ok((module, hida_frontend::nn::build_model(ctx, module, model)))
+        }
         Workload::Polybench(kernel) => {
-            hida_frontend::polybench::build_kernel(ctx, module, kernel, kernel.default_size())
+            let module = ctx.create_module(kernel.name());
+            let func =
+                hida_frontend::polybench::build_kernel(ctx, module, kernel, kernel.default_size());
+            Ok((module, func))
         }
         Workload::PolybenchSized(kernel, n) => {
-            hida_frontend::polybench::build_kernel(ctx, module, kernel, n)
+            let module = ctx.create_module(kernel.name());
+            let func = hida_frontend::polybench::build_kernel(ctx, module, kernel, n);
+            Ok((module, func))
         }
-    };
-    (module, func)
+        Workload::TextIr { name, text } => {
+            let module = hida_ir_core::parse_module_into(ctx, &text)
+                .map_err(|e| IrError::InvalidEntity(format!("parsing textual IR '{name}': {e}")))?;
+            if !ctx.op(module).is(hida_ir_core::op_names::MODULE) {
+                return Err(IrError::InvalidEntity(format!(
+                    "textual IR '{name}' must have a builtin.module root, found \"{}\"",
+                    ctx.op(module).name
+                )));
+            }
+            let func = ctx
+                .body_ops(module)
+                .into_iter()
+                .find(|&op| ctx.op(op).is(hida_ir_core::op_names::FUNC))
+                .ok_or_else(|| {
+                    IrError::InvalidEntity(format!(
+                        "textual IR '{name}' contains no func.func to compile"
+                    ))
+                })?;
+            Ok((module, func))
+        }
+    }
 }
 
 /// The end-to-end HIDA compiler.
@@ -301,7 +353,7 @@ impl Compiler {
     /// Propagates front-end or optimization failures.
     pub fn compile(&self, workload: Workload) -> IrResult<CompilationResult> {
         let mut ctx = Context::new();
-        let (module, func) = build_workload(&mut ctx, workload);
+        let (module, func) = build_workload(&mut ctx, workload)?;
         self.compile_func(ctx, module, func)
     }
 
@@ -315,7 +367,7 @@ impl Compiler {
     /// Propagates front-end or optimization failures.
     pub fn lower(&self, workload: Workload) -> IrResult<LoweredDesign> {
         let mut ctx = Context::new();
-        let (module, func) = build_workload(&mut ctx, workload);
+        let (module, func) = build_workload(&mut ctx, workload)?;
         let mut pipeline = match &self.pipeline {
             Some(text) => Pipeline::parse(&registry(), text)
                 .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?,

@@ -441,7 +441,7 @@ impl SweepEngine {
             if let Some(text) = &point.pipeline {
                 compiler = compiler.with_pipeline(text.clone());
             }
-            let result = compiler.compile(point.workload);
+            let result = compiler.compile(point.workload.clone());
             SweepPointOutcome {
                 label: point.label.clone(),
                 pipeline: point.pipeline_text(),

@@ -97,7 +97,7 @@ fn pooled_sweep_matches_isolated_runs_point_by_point() {
     for (point, spec) in outcome.points.iter().zip(&points) {
         assert_eq!(point.label, spec.label);
         let isolated = Compiler::new(spec.options.clone())
-            .compile(spec.workload)
+            .compile(spec.workload.clone())
             .unwrap();
         assert_identical(point.result.as_ref().unwrap(), &isolated, &point.label);
     }

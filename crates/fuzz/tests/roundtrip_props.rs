@@ -1,0 +1,28 @@
+//! Round-trip properties over *fuzz-generated* workloads: whatever the
+//! generator emits must survive print -> parse -> print (fingerprint and
+//! byte identity), complementing the structural generator in
+//! `crates/ir/tests/roundtrip_props.rs`.
+
+use hida_fuzz::{gen_workload, FuzzRng};
+use hida_ir_core::printer::print_op;
+use hida_ir_core::{parse_module, structural_fingerprint, Context};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fuzz_workloads_round_trip(seed in 0u64..1_000_000) {
+        let mut ctx = Context::new();
+        let w = gen_workload(&mut ctx, &mut FuzzRng::new(seed));
+        let text = print_op(&ctx, w.module);
+        let (pctx, pmodule) = parse_module(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{text}"));
+        prop_assert_eq!(
+            structural_fingerprint(&ctx, w.module),
+            structural_fingerprint(&pctx, pmodule),
+            "seed {}: fingerprint drift\n{}",
+            seed,
+            text
+        );
+        prop_assert_eq!(print_op(&pctx, pmodule), text);
+    }
+}

@@ -282,13 +282,27 @@ impl AttrMap {
     }
 }
 
+/// Writes a float so it can never be mistaken for an integer literal: values
+/// whose `Display` form has no fractional part (`1`, `-3`) gain a trailing
+/// `.0`, keeping `Float(1.0)` and `Int(1)` distinguishable after a
+/// parse/print round-trip (they hash differently in the structural
+/// fingerprint).
+fn write_float(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    let s = v.to_string();
+    if s.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+        write!(f, "{s}.0")
+    } else {
+        write!(f, "{s}")
+    }
+}
+
 impl fmt::Display for Attribute {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Attribute::Unit => write!(f, "unit"),
             Attribute::Bool(v) => write!(f, "{v}"),
             Attribute::Int(v) => write!(f, "{v}"),
-            Attribute::Float(v) => write!(f, "{v}"),
+            Attribute::Float(v) => write_float(f, *v),
             Attribute::Str(s) => write!(f, "\"{s}\""),
             Attribute::IntArray(v) => {
                 write!(f, "[")?;
@@ -306,7 +320,7 @@ impl fmt::Display for Attribute {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{x}")?;
+                    write_float(f, *x)?;
                 }
                 write!(f, "]")
             }
@@ -364,6 +378,17 @@ mod tests {
             Attribute::IntArray(vec![1, 2])
         );
         assert_eq!(Attribute::from(Type::i8()), Attribute::TypeAttr(Type::i8()));
+    }
+
+    #[test]
+    fn float_display_is_never_an_integer_literal() {
+        assert_eq!(Attribute::Float(1.0).to_string(), "1.0");
+        assert_eq!(Attribute::Float(-3.0).to_string(), "-3.0");
+        assert_eq!(Attribute::Float(0.5).to_string(), "0.5");
+        assert_eq!(
+            Attribute::FloatArray(vec![1.0, 0.25]).to_string(),
+            "[1.0, 0.25]"
+        );
     }
 
     #[test]

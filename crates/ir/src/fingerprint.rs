@@ -249,25 +249,64 @@ impl<K: Fn(&str) -> bool, F: FnMut(&mut StableHasher, ValueId)> Walker<'_, K, F>
                 h.write_u64(4);
                 h.write_str(s);
             }
+            // Empty arrays of every flavor hash alike (tag 8): the textual form
+            // `[]` carries no element type, so the fingerprint must not depend on
+            // which empty-array variant produced it.
             Attribute::IntArray(v) => {
-                h.write_u64(5);
+                h.write_u64(if v.is_empty() { 8 } else { 5 });
                 h.write_u64(v.len() as u64);
                 for x in v {
                     h.write_i64(*x);
                 }
             }
             Attribute::FloatArray(v) => {
-                h.write_u64(6);
+                h.write_u64(if v.is_empty() { 8 } else { 6 });
                 h.write_u64(v.len() as u64);
                 for x in v {
                     h.write_u64(x.to_bits());
                 }
             }
             Attribute::StrArray(v) => {
-                h.write_u64(7);
+                h.write_u64(if v.is_empty() { 8 } else { 7 });
                 h.write_u64(v.len() as u64);
                 for s in v {
                     h.write_str(s);
+                }
+            }
+            // A generic array whose elements are all ints / floats / strings
+            // prints exactly like the corresponding typed array, so it must
+            // hash like one too (the parser canonicalizes on re-read).
+            Attribute::Array(v)
+                if !v.is_empty() && v.iter().all(|a| matches!(a, Attribute::Int(_))) =>
+            {
+                h.write_u64(5);
+                h.write_u64(v.len() as u64);
+                for a in v {
+                    if let Attribute::Int(x) = a {
+                        h.write_i64(*x);
+                    }
+                }
+            }
+            Attribute::Array(v)
+                if !v.is_empty() && v.iter().all(|a| matches!(a, Attribute::Float(_))) =>
+            {
+                h.write_u64(6);
+                h.write_u64(v.len() as u64);
+                for a in v {
+                    if let Attribute::Float(x) = a {
+                        h.write_u64(x.to_bits());
+                    }
+                }
+            }
+            Attribute::Array(v)
+                if !v.is_empty() && v.iter().all(|a| matches!(a, Attribute::Str(_))) =>
+            {
+                h.write_u64(7);
+                h.write_u64(v.len() as u64);
+                for a in v {
+                    if let Attribute::Str(s) = a {
+                        h.write_str(s);
+                    }
                 }
             }
             Attribute::Array(v) => {

@@ -71,7 +71,10 @@ pub use ids::{BlockId, OpId, RegionId, ValueId};
 pub use intern::{InternTable, Symbol};
 pub use operation::{OpName, Operation};
 pub use par::{default_jobs, AttrEdit, NodeScope, ParallelStats};
-pub use parse::{parse_pipeline, print_pipeline, PassInvocation, PipelineParseError};
+pub use parse::{
+    parse_module, parse_module_into, parse_pipeline, print_pipeline, IrParseError, PassInvocation,
+    PipelineParseError,
+};
 pub use pass::{Pass, PassManager, PassOption, PassStatistics, PipelineState};
 pub use registry::{OptionSpec, PassRegistry, PassSpec, PipelineError};
 pub use rewrite::{apply_patterns_greedily, RewritePattern};
