@@ -2,7 +2,7 @@
 # Staged tier-1 verification plus lint gate. Run from the repository root.
 #
 #   ./ci.sh            run every stage (the full pre-merge gate)
-#   ./ci.sh <stage>    run one stage: build | test | determinism | cache | persist | dse | fuzz
+#   ./ci.sh <stage>    run one stage: build | test | determinism | cache | persist | dse | fuzz | chaos
 #
 # Mirrors .github/workflows/ci.yml, where each CI job runs exactly one
 # `./ci.sh <stage>` — keeping local runs and CI the same by construction.
@@ -284,6 +284,123 @@ run_fuzz() {
   rm -f "${reemit}"
 }
 
+# Fault-isolated compilation: a seeded fault plan must fail exactly the
+# planned points with structured reasons, surviving points must be
+# byte-identical to a fault-free run at any job count, transient faults must
+# converge under --retries, and a stalled point must hit --deadline-ms
+# instead of hanging the sweep (60s hard guard).
+run_chaos() {
+  echo "==> [chaos] seeded fault plan over a 4-point TwoMm sweep"
+  local variants clean chaos1 chaos4 status
+  variants=$(mktemp /tmp/chaos_variants.XXXXXX.txt)
+  cat > "${variants}" <<'EOF'
+construct,lower,tiling{factor=2},parallelize{max-factor=2,device=zu3eg}
+construct,lower,tiling{factor=2},parallelize{max-factor=4,device=zu3eg}
+construct,lower,tiling{factor=4},parallelize{max-factor=2,device=zu3eg}
+construct,lower,tiling{factor=4},parallelize{max-factor=4,device=zu3eg}
+EOF
+  clean=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${variants}" --jobs 1 --no-timing)
+
+  local plan="seed=7,pass-panic=1,store-read=1"
+  set +e
+  chaos1=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${variants}" --jobs 1 --no-timing \
+    --inject-faults "${plan}" 2> /dev/null)
+  status=$?
+  set -e
+  if [[ ${status} -eq 0 ]]; then
+    echo "a sweep with injected faults exited zero"
+    exit 1
+  fi
+  if ! echo "${chaos1}" | grep -q '^FAILED: 2 of 4 sweep points'; then
+    echo "expected exactly the 2 injected faults to fail"
+    echo "${chaos1}"
+    exit 1
+  fi
+  if ! echo "${chaos1}" | grep -q 'Panicked' || ! echo "${chaos1}" | grep -q 'StoreDegraded'; then
+    echo "failures are missing their structured reasons"
+    echo "${chaos1}"
+    exit 1
+  fi
+
+  echo "==> [chaos] the same plan at --jobs 4 must fail the same points, byte-identically"
+  set +e
+  chaos4=$(cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${variants}" --jobs 4 --no-timing \
+    --inject-faults "${plan}" 2> /dev/null)
+  status=$?
+  set -e
+  if [[ ${status} -eq 0 ]]; then
+    echo "the --jobs 4 chaos sweep exited zero"
+    exit 1
+  fi
+  if [[ "${chaos1}" != "${chaos4}" ]]; then
+    echo "chaos outputs diverged between --jobs 1 and --jobs 4"
+    diff <(echo "${chaos1}") <(echo "${chaos4}") || true
+    exit 1
+  fi
+
+  echo "==> [chaos] surviving points must be byte-identical to the fault-free run"
+  local failed
+  failed=$(echo "${chaos1}" | sed -n 's/^FAILED: [0-9]* of [0-9]* sweep points (\(.*\))$/\1/p')
+  # Paragraph-mode filter: drop the failed points' report blocks and the
+  # FAILED summary, leaving the header and the survivors.
+  filter_failed() {
+    awk -v RS= -v ORS='\n\n' -v failed="$1" '
+      BEGIN { n = split(failed, f, /, /) }
+      {
+        skip = ($0 ~ /^FAILED:/)
+        for (i = 1; i <= n; i++) if ($0 ~ "^point " substr(f[i], 2) ":") skip = 1
+        if (!skip) print
+      }'
+  }
+  if ! diff <(echo "${chaos1}" | filter_failed "${failed}") \
+            <(echo "${clean}" | filter_failed "${failed}"); then
+    echo "surviving points diverged from the fault-free run"
+    exit 1
+  fi
+
+  echo "==> [chaos] a transient fault must converge under --retries 1"
+  set +e
+  cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${variants}" --jobs 2 --no-timing \
+    --inject-faults "seed=3,pass-panic=1,transient" --retries 1 > /dev/null 2>&1
+  status=$?
+  set -e
+  if [[ ${status} -ne 0 ]]; then
+    echo "a transient fault did not converge under --retries 1"
+    exit 1
+  fi
+
+  echo "==> [chaos] a stalled point must hit --deadline-ms (60s no-hang guard)"
+  local timed
+  set +e
+  timed=$(timeout 60 cargo run --release -q -p hida --bin hida-opt -- \
+    --workload two_mm --sweep "${variants}" --jobs 2 --no-timing \
+    --inject-faults "seed=5,stall=1,stall-ms=400" --deadline-ms 50 2> /dev/null)
+  status=$?
+  set -e
+  if [[ ${status} -eq 124 ]]; then
+    echo "the stalled sweep hung past the 60s guard"
+    exit 1
+  fi
+  if [[ ${status} -eq 0 ]]; then
+    echo "the timed-out point did not fail the sweep"
+    exit 1
+  fi
+  if ! echo "${timed}" | grep -q 'TimedOut'; then
+    echo "the stalled point is missing its TimedOut reason"
+    echo "${timed}"
+    exit 1
+  fi
+  rm -f "${variants}"
+
+  echo "==> [chaos] hida-fuzz --chaos (60 cases: every injected fault must be isolated)"
+  cargo run --release -q -p hida-fuzz -- \
+    --cases 60 --seed 20240815 --chaos --dump-dir target/fuzz-failures
+}
+
 stage="${1:-all}"
 case "${stage}" in
   build) run_build ;;
@@ -293,6 +410,7 @@ case "${stage}" in
   persist) run_persist ;;
   dse) run_dse ;;
   fuzz) run_fuzz ;;
+  chaos) run_chaos ;;
   all)
     run_build
     run_test
@@ -301,9 +419,10 @@ case "${stage}" in
     run_persist
     run_dse
     run_fuzz
+    run_chaos
     ;;
   *)
-    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | dse | fuzz | all)"
+    echo "unknown stage '${stage}' (expected build | test | determinism | cache | persist | dse | fuzz | chaos | all)"
     exit 2
     ;;
 esac

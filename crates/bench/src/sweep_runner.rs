@@ -262,8 +262,15 @@ impl SweepComparison {
                 let _ = writeln!(
                     out,
                     "  \"persistent_cache\": {{\"hits\": {}, \"misses\": {}, \"writes\": {}, \
-                     \"evictions\": {}, \"corrupt\": {}}},",
-                    p.hits, p.misses, p.writes, p.evictions, p.corrupt
+                     \"evictions\": {}, \"corrupt\": {}, \"write_errors\": {}, \
+                     \"read_errors\": {}}},",
+                    p.hits,
+                    p.misses,
+                    p.writes,
+                    p.evictions,
+                    p.corrupt,
+                    p.write_errors,
+                    p.read_errors
                 );
             }
             None => out.push_str("  \"persistent_cache\": null,\n"),

@@ -30,6 +30,7 @@ use hida_estimator::dataflow::DataflowEstimator;
 use hida_estimator::device::FpgaDevice;
 use hida_frontend::nn::Model;
 use hida_frontend::polybench::PolybenchKernel;
+use hida_ir_core::fault::{self, FaultPlan};
 use hida_ir_core::pass::PassStatistics;
 use hida_ir_core::{AnalysisCacheStats, Context, OpId};
 use hida_opt::registry::{registry, registry_listing};
@@ -82,6 +83,24 @@ usage: hida-opt [OPTIONS]
                         stale entries read as misses, never as errors
   --cache-limit-mb <n>  size budget for --cache-dir in megabytes; writes past
                         the budget evict least-recently-used entries
+  --deadline-ms <n>     per-point wall-clock deadline in milliseconds: a point
+                        that exceeds it is cancelled at the next checkpoint
+                        and reported as timed-out; under --sweep the run
+                        continues and the reclaimed workers widen later points
+  --retries <n>         retry failed sweep/explore points up to <n> times with
+                        degraded settings (1 worker, verification forced on,
+                        shared cache bypassed); a point that never converges
+                        reports its full attempt history
+  --run-budget-ms <n>   whole-run wall-clock budget under --sweep: when it
+                        expires, in-flight points are cancelled at their next
+                        checkpoint and remaining retries are skipped
+  --inject-faults <s>   deterministic chaos testing: arm faults at named sites
+                        from a seeded plan, e.g.
+                        \"seed=7,pass-panic=1,store-read=1,stall=1,stall-ms=200\"
+                        (add 'transient' to fire faults only on the first
+                        attempt, so --retries can recover the point); which
+                        points fault depends only on the seed and the point
+                        labels, never on --jobs
   --no-verify           skip inter-pass IR verification
   --no-timing           omit timing and machine/state-dependent counters
                         (pass micros, jobs, cache traffic, wall-clock) so the
@@ -225,6 +244,10 @@ struct Args {
     device: Option<String>,
     cache_dir: Option<String>,
     cache_limit_mb: Option<u64>,
+    deadline_ms: Option<u64>,
+    retries: Option<usize>,
+    run_budget_ms: Option<u64>,
+    inject_faults: Option<String>,
     no_verify: bool,
     no_timing: bool,
     stats_json: bool,
@@ -282,6 +305,34 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.cache_limit_mb = Some(mb);
             }
+            "--deadline-ms" => {
+                let raw = value_of("--deadline-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms: '{raw}' is not an integer"))?;
+                if ms < 1 {
+                    return Err("--deadline-ms: must be >= 1".to_string());
+                }
+                args.deadline_ms = Some(ms);
+            }
+            "--retries" => {
+                let raw = value_of("--retries")?;
+                let retries: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--retries: '{raw}' is not an integer"))?;
+                args.retries = Some(retries);
+            }
+            "--run-budget-ms" => {
+                let raw = value_of("--run-budget-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--run-budget-ms: '{raw}' is not an integer"))?;
+                if ms < 1 {
+                    return Err("--run-budget-ms: must be >= 1".to_string());
+                }
+                args.run_budget_ms = Some(ms);
+            }
+            "--inject-faults" => args.inject_faults = Some(value_of("--inject-faults")?),
             "--no-verify" => args.no_verify = true,
             "--no-timing" => args.no_timing = true,
             "--stats-json" => args.stats_json = true,
@@ -341,10 +392,23 @@ fn shared_cache_json(shared: &SharedCacheStats) -> String {
 fn persistent_json(persistent: Option<&PersistentStoreStats>) -> String {
     match persistent {
         Some(p) => format!(
-            "{{\"hits\":{},\"misses\":{},\"writes\":{},\"evictions\":{},\"corrupt\":{}}}",
-            p.hits, p.misses, p.writes, p.evictions, p.corrupt
+            "{{\"hits\":{},\"misses\":{},\"writes\":{},\"evictions\":{},\"corrupt\":{},\
+             \"write_errors\":{},\"read_errors\":{}}}",
+            p.hits, p.misses, p.writes, p.evictions, p.corrupt, p.write_errors, p.read_errors
         ),
         None => "null".to_string(),
+    }
+}
+
+/// Parses `--inject-faults` into a seeded plan; empty plans (no armed faults)
+/// collapse to `None` so the zero-cost fast path stays active.
+fn parse_fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+    match &args.inject_faults {
+        None => Ok(None),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--inject-faults: {e}"))?;
+            Ok(if plan.is_empty() { None } else { Some(plan) })
+        }
     }
 }
 
@@ -466,10 +530,13 @@ fn sweep_json(workload: &str, outcome: &SweepOutcome) -> String {
                     .map_or_else(|| "null".to_string(), shared_cache_json),
             ),
             Err(e) => format!(
-                "{{\"index\":{index},\"pipeline\":\"{}\",\"seconds\":{:.6},\"error\":\"{}\"}}",
+                "{{\"index\":{index},\"pipeline\":\"{}\",\"seconds\":{:.6},\"error\":\"{}\",\
+                 \"reason\":\"{}\",\"attempts\":{}}}",
                 json_escape(&point.pipeline),
                 point.seconds,
                 json_escape(&e.to_string()),
+                point.failure_reason().map_or("Failed", |r| r.name()),
+                point.attempts,
             ),
         })
         .collect();
@@ -578,9 +645,25 @@ fn run_sweep(args: &Args) -> Result<(), String> {
             budget.point_jobs
         );
     }
+    let plan = parse_fault_plan(args)?;
+    if plan.is_some() || args.deadline_ms.is_some() || args.run_budget_ms.is_some() {
+        // Injected faults and deadline cancellations unwind by design; keep
+        // the default panic hook from spamming stderr with their backtraces.
+        fault::silence_expected_panics();
+    }
     let mut engine = SweepEngine::new()
         .with_budget(budget)
-        .with_verification(!args.no_verify);
+        .with_verification(!args.no_verify)
+        .with_retries(args.retries.unwrap_or(0));
+    if let Some(ms) = args.deadline_ms {
+        engine = engine.with_deadline_ms(ms);
+    }
+    if let Some(ms) = args.run_budget_ms {
+        engine = engine.with_run_budget_ms(ms);
+    }
+    if let Some(plan) = plan {
+        engine = engine.with_fault_plan(plan);
+    }
     if let Some(cache) = build_cache(args)? {
         engine = engine.with_cache(cache);
     }
@@ -605,7 +688,14 @@ fn run_sweep(args: &Args) -> Result<(), String> {
                     );
                 }
             }
-            Err(e) => say!("  error: {e}"),
+            Err(e) => {
+                say!("  error: {e}");
+                if let Some(failure) = &point.failure {
+                    for attempt in &failure.attempts {
+                        say!("  {attempt}");
+                    }
+                }
+            }
         }
     }
     if !args.no_timing {
@@ -700,11 +790,14 @@ fn explore_json(workload: &str, outcome: &ExploreOutcome) -> String {
                     .map_or_else(|| "null".to_string(), shared_cache_json),
             ),
             Err(e) => format!(
-                "{{\"label\":\"{}\",\"pipeline\":\"{}\",\"seconds\":{:.6},\"error\":\"{}\"}}",
+                "{{\"label\":\"{}\",\"pipeline\":\"{}\",\"seconds\":{:.6},\"error\":\"{}\",\
+                 \"reason\":\"{}\",\"attempts\":{}}}",
                 json_escape(&point.label),
                 json_escape(&point.pipeline),
                 point.seconds,
                 json_escape(&e.to_string()),
+                point.failure_reason().map_or("Failed", |r| r.name()),
+                point.attempts,
             ),
         })
         .collect();
@@ -827,9 +920,23 @@ fn run_explore(args: &Args) -> Result<(), String> {
     if !args.no_timing {
         say!("jobs: {total_jobs} total, adaptive per-point rebalancing");
     }
+    if args.run_budget_ms.is_some() {
+        return Err("--run-budget-ms applies to --sweep".to_string());
+    }
+    let plan = parse_fault_plan(args)?;
+    if plan.is_some() || args.deadline_ms.is_some() {
+        fault::silence_expected_panics();
+    }
     let mut explorer = Explorer::new(config)
         .with_total_jobs(total_jobs)
-        .with_verification(!args.no_verify);
+        .with_verification(!args.no_verify)
+        .with_retries(args.retries.unwrap_or(0));
+    if let Some(ms) = args.deadline_ms {
+        explorer = explorer.with_deadline_ms(ms);
+    }
+    if let Some(plan) = plan {
+        explorer = explorer.with_fault_plan(plan);
+    }
     if let Some(cache) = build_cache(args)? {
         explorer = explorer.with_cache(cache);
     }
@@ -869,7 +976,14 @@ fn run_explore(args: &Args) -> Result<(), String> {
                     );
                 }
             }
-            Err(e) => say!("  error: {e}"),
+            Err(e) => {
+                say!("  error: {e}");
+                if let Some(failure) = &point.failure {
+                    for attempt in &failure.attempts {
+                        say!("  {attempt}");
+                    }
+                }
+            }
         }
     }
 
@@ -941,6 +1055,16 @@ fn run(args: Args) -> Result<(), String> {
             }
         };
     }
+    if args.retries.is_some() {
+        return Err("--retries applies to --sweep and --explore".to_string());
+    }
+    if args.run_budget_ms.is_some() {
+        return Err("--run-budget-ms applies to --sweep".to_string());
+    }
+    let fault_plan = parse_fault_plan(&args)?;
+    if fault_plan.is_some() || args.deadline_ms.is_some() {
+        fault::silence_expected_panics();
+    }
     let source = resolve_source(&args)?;
     let workload_name = match &source {
         CliSource::Builtin(_) => args
@@ -997,7 +1121,28 @@ fn run(args: Args) -> Result<(), String> {
     }
     let pipeline_text = pipeline.to_text();
 
+    // In single-run mode --deadline-ms and --inject-faults scope to the pass
+    // pipeline: a cancel token (and any armed faults) is installed for its
+    // duration, so a stuck or faulted pass surfaces as a structured error
+    // instead of a hang or an escaping panic.
+    let chaos_guard = if args.deadline_ms.is_some() || fault_plan.is_some() {
+        let token = match args.deadline_ms {
+            Some(ms) => fault::CancelToken::with_deadline_ms(ms),
+            None => fault::CancelToken::new(),
+        };
+        let faults = fault_plan.as_ref().map(|plan| {
+            let labels = vec![workload_name.to_string()];
+            plan.assign(&labels)
+                .remove(workload_name)
+                .map(|kind| plan.arm(kind))
+                .unwrap_or_default()
+        });
+        Some(fault::install_point(token, faults))
+    } else {
+        None
+    };
     let run_result = pipeline.run(&mut ctx, func);
+    drop(chaos_guard);
 
     say!("\n# Per-pass statistics");
     for stat in pipeline.statistics() {

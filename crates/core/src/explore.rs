@@ -594,6 +594,9 @@ pub struct Explorer {
     verification: bool,
     cache: Option<Arc<SharedEstimateCache>>,
     adaptive: bool,
+    retries: usize,
+    deadline_ms: Option<u64>,
+    fault_plan: Option<hida_ir_core::FaultPlan>,
 }
 
 impl Default for Explorer {
@@ -611,7 +614,32 @@ impl Explorer {
             verification: true,
             cache: None,
             adaptive: true,
+            retries: 0,
+            deadline_ms: None,
+            fault_plan: None,
         }
+    }
+
+    /// Retry budget per compiled point (builder style); see
+    /// [`SweepEngine::with_retries`] for the degradation ladder.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Per-point compile deadline in milliseconds (builder style); see
+    /// [`SweepEngine::with_deadline_ms`].
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan for the compile batches
+    /// (builder style); see [`SweepEngine::with_fault_plan`]. Probe lowerings
+    /// install no fault context, so injections only fire in real compiles.
+    pub fn with_fault_plan(mut self, plan: hida_ir_core::FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+        self
     }
 
     /// Total worker-thread budget for compile batches (builder style).
@@ -661,11 +689,18 @@ impl Explorer {
             .clone()
             .unwrap_or_else(|| Arc::new(SharedEstimateCache::new()));
         let total_jobs = self.total_jobs.unwrap_or_else(default_jobs);
-        let engine = SweepEngine::new()
+        let mut engine = SweepEngine::new()
             .with_total_jobs(total_jobs)
             .with_cache(cache.clone())
             .with_verification(self.verification)
-            .with_adaptive_budget(self.adaptive);
+            .with_adaptive_budget(self.adaptive)
+            .with_retries(self.retries);
+        if let Some(deadline_ms) = self.deadline_ms {
+            engine = engine.with_deadline_ms(deadline_ms);
+        }
+        if let Some(plan) = &self.fault_plan {
+            engine = engine.with_fault_plan(plan.clone());
+        }
         let budget_limit = self.config.budget.unwrap_or(usize::MAX);
 
         let seeds = lattice.seed_candidates(self.config.seed, self.config.extras);
@@ -703,7 +738,19 @@ impl Explorer {
                 if let Some(text) = &point.pipeline {
                     probe = probe.with_pipeline(text.clone());
                 }
-                match probe.lower(point.workload.clone()) {
+                // Probes are isolated like compiles: a panicking probe falls
+                // through to the real compile batch, where the failure is
+                // recorded as a structured point outcome.
+                let lowered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    probe.lower(point.workload.clone())
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(hida_ir_core::fault::error_from_panic(
+                        &format!("probe '{}'", point.label),
+                        payload,
+                    ))
+                });
+                match lowered {
                     Ok(design) => {
                         let bound = design_bound(
                             &design.ctx,

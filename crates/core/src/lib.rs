@@ -68,12 +68,14 @@ pub use hida_frontend::polybench::PolybenchKernel;
 pub use hida_ir_core::analysis::{
     Analysis, AnalysisCacheStats, AnalysisManager, PreservedAnalyses,
 };
+pub use hida_ir_core::fault::{CancelToken, FaultKind, FaultPlan, PointFaults, WorkerFault};
 pub use hida_ir_core::pass::{PassOption, PassStatistics, PipelineState};
 pub use hida_ir_core::registry::{PassRegistry, PipelineError};
 pub use hida_ir_core::PassInvocation;
 pub use hida_opt::{registry, registry_listing, HidaOptions, ParallelMode, Pipeline};
 pub use sweep::{
-    AdaptiveBudget, JobBudget, SweepEngine, SweepOutcome, SweepPoint, SweepPointOutcome,
+    classify_failure, AdaptiveBudget, FailureReason, JobBudget, PointAttempt, PointFailure,
+    SweepEngine, SweepOutcome, SweepPoint, SweepPointOutcome,
 };
 
 use hida_dataflow_ir::structural::ScheduleOp;
@@ -397,6 +399,9 @@ impl Compiler {
         func: OpId,
     ) -> IrResult<CompilationResult> {
         let start = Instant::now();
+        // Chaos-harness site: an armed stall sleeps here, at the very start of
+        // the point's compilation, where a per-point deadline will catch it.
+        hida_ir_core::fault::injected_stall("compile:start");
         let mut pipeline = match &self.pipeline {
             Some(text) => Pipeline::parse(&registry(), text)
                 .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?,
@@ -413,6 +418,15 @@ impl Compiler {
             hida_ir_core::verifier::verify(&ctx, module)
                 .map_err(|e| IrError::pass_failed("hida-pipeline", e.to_string()))?;
         }
+        // Chaos-harness site: an armed store-read fault surfaces as the
+        // `StoreDegraded` error a real unrecoverable EIO on the estimate
+        // store's read path would produce, and lands in the same counter.
+        if let Err(e) = hida_ir_core::fault::injected_store_read("estimator/store-read") {
+            if let Some(store) = self.shared_estimates.as_ref().and_then(|c| c.store()) {
+                store.note_injected_read_error();
+            }
+            return Err(e);
+        }
         let mut estimator =
             DataflowEstimator::new(self.options.device.clone()).with_jobs(self.jobs);
         if let Some(cache) = &self.shared_estimates {
@@ -420,6 +434,13 @@ impl Compiler {
         }
         let estimate = estimator.estimate_schedule(&ctx, schedule, true);
         let estimate_sequential = estimator.estimate_schedule(&ctx, schedule, false);
+        // Chaos-harness site: an armed short write drops one store publish —
+        // a counted, non-fatal degradation, exactly like a real ENOSPC.
+        if hida_ir_core::fault::injected_short_write() {
+            if let Some(store) = self.shared_estimates.as_ref().and_then(|c| c.store()) {
+                store.note_injected_write_error();
+            }
+        }
         let estimator_cache = estimator.cache_stats();
         let shared_estimator_cache = self
             .shared_estimates

@@ -26,8 +26,12 @@
 use crate::{CompilationResult, Compiler, HidaOptions, Workload};
 use hida_estimator::shared_cache::{SharedCacheStats, SharedEstimateCache};
 use hida_estimator::store::PersistentStoreStats;
-use hida_ir_core::par::{default_jobs, run_batch};
-use hida_ir_core::{IrResult, ParallelStats};
+use hida_ir_core::fault::{self, CancelToken, FaultKind, FaultPlan};
+use hida_ir_core::par::{default_jobs, run_batch_isolated};
+use hida_ir_core::{IrError, IrResult, ParallelStats};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -174,6 +178,9 @@ pub struct AdaptiveBudget {
     total_jobs: usize,
     pool_jobs: usize,
     pending: std::sync::atomic::AtomicUsize,
+    /// Worker threads handed back by cancelled/timed-out points; future
+    /// claims redistribute them (see [`AdaptiveBudget::reclaim`]).
+    reclaimed: std::sync::atomic::AtomicUsize,
 }
 
 impl AdaptiveBudget {
@@ -186,6 +193,7 @@ impl AdaptiveBudget {
             total_jobs: total,
             pool_jobs: JobBudget::for_points(total, num_points).pool_jobs,
             pending: std::sync::atomic::AtomicUsize::new(num_points),
+            reclaimed: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -213,7 +221,16 @@ impl AdaptiveBudget {
             .pending
             .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
         let competing = before.max(1).min(self.pool_jobs).max(1);
-        (self.total_jobs / competing).max(1).min(width_cap.max(1))
+        let available = self.total_jobs + self.reclaimed.load(std::sync::atomic::Ordering::SeqCst);
+        (available / competing).max(1).min(width_cap.max(1))
+    }
+
+    /// Hands back the worker threads of a cancelled (or timed-out) point so
+    /// subsequent claims can use the freed capacity. Purely a scheduling
+    /// lever: results stay byte-identical at any worker count.
+    pub fn reclaim(&self, width: usize) {
+        self.reclaimed
+            .fetch_add(width, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// The static split this budget started from (for reports).
@@ -222,6 +239,95 @@ impl AdaptiveBudget {
             pool_jobs: self.pool_jobs,
             point_jobs: (self.total_jobs / self.pool_jobs.max(1)).max(1),
         }
+    }
+}
+
+/// Structured classification of why a design point failed, used by reports,
+/// the CLI summary, and the chaos CI assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// A worker or pass panicked; the unwind was isolated.
+    Panicked,
+    /// A per-point deadline or the whole-run budget cancelled the point.
+    TimedOut,
+    /// The persistent estimate store degraded fatally for this point.
+    StoreDegraded,
+    /// An ordinary compilation error (verification, pass failure, ...).
+    Failed,
+}
+
+impl FailureReason {
+    /// Stable report name (`Panicked` / `TimedOut` / `StoreDegraded` /
+    /// `Failed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureReason::Panicked => "Panicked",
+            FailureReason::TimedOut => "TimedOut",
+            FailureReason::StoreDegraded => "StoreDegraded",
+            FailureReason::Failed => "Failed",
+        }
+    }
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps a structured [`IrError`] onto the report-level [`FailureReason`].
+pub fn classify_failure(error: &IrError) -> FailureReason {
+    match error {
+        IrError::WorkerPanic { .. } => FailureReason::Panicked,
+        IrError::Cancelled { .. } => FailureReason::TimedOut,
+        IrError::StoreDegraded(_) => FailureReason::StoreDegraded,
+        _ => FailureReason::Failed,
+    }
+}
+
+/// One failed attempt in a point's retry history.
+#[derive(Debug, Clone)]
+pub struct PointAttempt {
+    /// Zero-based attempt index (0 = the original attempt).
+    pub attempt: usize,
+    /// Structured failure classification.
+    pub reason: FailureReason,
+    /// The rendered error.
+    pub detail: String,
+    /// Whether the attempt ran under the degradation ladder (retries run with
+    /// `jobs = 1`, verification on, and the shared cache bypassed).
+    pub degraded: bool,
+}
+
+impl fmt::Display for PointAttempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attempt {}: {} ({})",
+            self.attempt, self.reason, self.detail
+        )?;
+        if self.degraded {
+            write!(f, " [degraded]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full attempt history of a point that never converged to a clean
+/// result.
+#[derive(Debug, Clone)]
+pub struct PointFailure {
+    /// Every failed attempt, in order. Never empty.
+    pub attempts: Vec<PointAttempt>,
+}
+
+impl PointFailure {
+    /// The final attempt's classification — what the point ultimately died of.
+    pub fn reason(&self) -> FailureReason {
+        self.attempts
+            .last()
+            .map(|a| a.reason)
+            .unwrap_or(FailureReason::Failed)
     }
 }
 
@@ -238,8 +344,24 @@ pub struct SweepPointOutcome {
     /// static sweeps; chosen at claim time under an [`AdaptiveBudget`]
     /// (timing detail — results are byte-identical at any value).
     pub point_jobs: usize,
-    /// The compilation result, or the error that stopped it.
+    /// The compilation result, or the (final) error that stopped it.
     pub result: IrResult<CompilationResult>,
+    /// Number of attempts made (1 without retries; up to `retries + 1`).
+    pub attempts: usize,
+    /// The structured attempt history when the point never converged
+    /// (`None` for points that compiled cleanly, possibly after retries).
+    pub failure: Option<PointFailure>,
+}
+
+impl SweepPointOutcome {
+    /// The structured reason the point failed, if it did.
+    pub fn failure_reason(&self) -> Option<FailureReason> {
+        match (&self.failure, &self.result) {
+            (Some(failure), _) => Some(failure.reason()),
+            (None, Err(e)) => Some(classify_failure(e)),
+            (None, Ok(_)) => None,
+        }
+    }
 }
 
 /// The result of one sweep run.
@@ -320,6 +442,10 @@ pub struct SweepEngine {
     cache: Option<Arc<SharedEstimateCache>>,
     verification: bool,
     adaptive: bool,
+    retries: usize,
+    deadline_ms: Option<u64>,
+    run_budget_ms: Option<u64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SweepEngine {
@@ -339,7 +465,47 @@ impl SweepEngine {
             cache: None,
             verification: true,
             adaptive: false,
+            retries: 0,
+            deadline_ms: None,
+            run_budget_ms: None,
+            fault_plan: None,
         }
+    }
+
+    /// Sets the retry budget per point (builder style). A failed or timed-out
+    /// point re-compiles up to `retries` more times under the degradation
+    /// ladder — `jobs = 1`, verification forced on, shared cache bypassed —
+    /// so transient faults converge to a clean result and persistent ones to
+    /// a structured [`PointFailure`] carrying the full attempt history.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets a per-point deadline in milliseconds (builder style). Work stops
+    /// at the next cancellation checkpoint (pass boundary, wave boundary, or
+    /// estimator node loop) and the point reports a `TimedOut` outcome.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets a whole-run wall-clock budget in milliseconds (builder style):
+    /// one deadline shared by every point, chained above the per-point
+    /// deadlines. Points that have not finished when it expires stop at their
+    /// next checkpoint with a `TimedOut` outcome.
+    pub fn with_run_budget_ms(mut self, budget_ms: u64) -> Self {
+        self.run_budget_ms = Some(budget_ms);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (builder style): faults are
+    /// assigned to points by seeded label shuffle — independent of job count
+    /// and scheduling — and fire at named sites inside the afflicted points'
+    /// compilations. Used by the chaos CI stage and `--inject-faults`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+        self
     }
 
     /// Sets an explicit job budget (builder style). Without one, the budget
@@ -425,31 +591,76 @@ impl SweepEngine {
         } else {
             None
         };
+        // The run-level token carries the whole-run wall-clock budget; every
+        // point attempt gets a child token chaining its own deadline below it.
+        let run_token = match self.run_budget_ms {
+            Some(budget_ms) => CancelToken::with_deadline_ms(budget_ms),
+            None => CancelToken::new(),
+        };
+        // Fault assignment is a seeded shuffle of the *labels*, computed once
+        // before any point runs — which points are afflicted is independent
+        // of job count and thread scheduling.
+        let assignments: Option<BTreeMap<String, FaultKind>> =
+            self.fault_plan.as_ref().map(|plan| {
+                let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+                plan.assign(&labels)
+            });
         let start = Instant::now();
-        let (outcomes, pool) = run_batch(budget.pool_jobs, points, |point| {
-            let point_start = Instant::now();
-            let point_jobs = match &adaptive {
-                Some(a) => a.claim(point.workload.node_parallel_width()),
-                None => budget.point_jobs,
-            };
-            let mut compiler = Compiler::new(point.options.clone())
-                .with_jobs(point_jobs)
-                .with_verification(self.verification);
-            if let Some(cache) = &cache {
-                compiler = compiler.with_shared_estimates(cache.clone());
-            }
-            if let Some(text) = &point.pipeline {
-                compiler = compiler.with_pipeline(text.clone());
-            }
-            let result = compiler.compile(point.workload.clone());
-            SweepPointOutcome {
-                label: point.label.clone(),
-                pipeline: point.pipeline_text(),
-                seconds: point_start.elapsed().as_secs_f64(),
-                point_jobs,
-                result,
-            }
+        let (results, pool) = run_batch_isolated(budget.pool_jobs, points, |point| {
+            let armed = assignments
+                .as_ref()
+                .and_then(|map| map.get(&point.label))
+                .and_then(|&kind| self.fault_plan.as_ref().map(|plan| plan.arm(kind)));
+            self.run_point(
+                point,
+                &budget,
+                adaptive.as_ref(),
+                cache.as_ref(),
+                &run_token,
+                armed,
+            )
         });
+        // `run_point` isolates every attempt itself, so a fault here means a
+        // panic escaped *between* attempts; synthesize a failed outcome
+        // rather than aborting the other points.
+        let outcomes: Vec<SweepPointOutcome> = results
+            .into_iter()
+            .zip(points)
+            .map(|(result, point)| match result {
+                Ok(outcome) => outcome,
+                Err(worker_fault) => {
+                    let site = format!("sweep point '{}'", point.label);
+                    let error = if worker_fault.cancelled {
+                        IrError::Cancelled {
+                            site,
+                            detail: worker_fault.message.clone(),
+                        }
+                    } else {
+                        IrError::WorkerPanic {
+                            site,
+                            message: worker_fault.message.clone(),
+                        }
+                    };
+                    let reason = classify_failure(&error);
+                    SweepPointOutcome {
+                        label: point.label.clone(),
+                        pipeline: point.pipeline_text(),
+                        seconds: 0.0,
+                        point_jobs: 1,
+                        attempts: 1,
+                        failure: Some(PointFailure {
+                            attempts: vec![PointAttempt {
+                                attempt: 0,
+                                reason,
+                                detail: worker_fault.message,
+                                degraded: false,
+                            }],
+                        }),
+                        result: Err(error),
+                    }
+                }
+            })
+            .collect();
         SweepOutcome {
             points: outcomes,
             budget,
@@ -460,11 +671,258 @@ impl SweepEngine {
             adaptive: adaptive.is_some(),
         }
     }
+
+    /// Compiles one point, retrying under the degradation ladder. Every
+    /// attempt runs under its own cancellation token (per-point deadline
+    /// chained below the run budget) and an installed fault context, with the
+    /// whole compilation wrapped in `catch_unwind` — panics, cancellations
+    /// and store degradations all land as structured [`PointAttempt`]s.
+    fn run_point(
+        &self,
+        point: &SweepPoint,
+        budget: &JobBudget,
+        adaptive: Option<&AdaptiveBudget>,
+        cache: Option<&Arc<SharedEstimateCache>>,
+        run_token: &CancelToken,
+        armed: Option<fault::PointFaults>,
+    ) -> SweepPointOutcome {
+        let point_start = Instant::now();
+        let mut history: Vec<PointAttempt> = Vec::new();
+        let mut last_error = None;
+        let mut attempts = 0;
+        for attempt in 0..=self.retries {
+            attempts = attempt + 1;
+            // Degradation ladder for retries: one worker thread (no pool
+            // interleaving), verification forced on (catch IR corruption a
+            // crashed attempt may have exposed), shared cache bypassed (a
+            // poisoned or degraded cache cannot re-fail the retry).
+            let degraded = attempt > 0;
+            let point_jobs = if degraded {
+                1
+            } else {
+                match adaptive {
+                    Some(a) => a.claim(point.workload.node_parallel_width()),
+                    None => budget.point_jobs,
+                }
+            };
+            let mut compiler = Compiler::new(point.options.clone())
+                .with_jobs(point_jobs)
+                .with_verification(if degraded { true } else { self.verification });
+            if !degraded {
+                if let Some(cache) = cache {
+                    compiler = compiler.with_shared_estimates(Arc::clone(cache));
+                }
+            }
+            if let Some(text) = &point.pipeline {
+                compiler = compiler.with_pipeline(text.clone());
+            }
+            // Transient plans fire on the first attempt only (so retries
+            // recover); persistent plans re-arm every attempt.
+            let attempt_faults = match &armed {
+                Some(faults)
+                    if attempt == 0 || !self.fault_plan.as_ref().is_some_and(|p| p.transient) =>
+                {
+                    Some(faults.clone())
+                }
+                _ => None,
+            };
+            let token = run_token.child(self.deadline_ms);
+            let result = {
+                let _guard = fault::install_point(token, attempt_faults);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    compiler.compile(point.workload.clone())
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => Err(fault::error_from_panic(
+                        &format!("sweep point '{}'", point.label),
+                        payload,
+                    )),
+                }
+            };
+            match result {
+                Ok(compiled) => {
+                    return SweepPointOutcome {
+                        label: point.label.clone(),
+                        pipeline: point.pipeline_text(),
+                        seconds: point_start.elapsed().as_secs_f64(),
+                        point_jobs,
+                        attempts,
+                        failure: None,
+                        result: Ok(compiled),
+                    };
+                }
+                Err(error) => {
+                    let reason = classify_failure(&error);
+                    if reason == FailureReason::TimedOut {
+                        if let Some(a) = adaptive {
+                            a.reclaim(point_jobs);
+                        }
+                    }
+                    history.push(PointAttempt {
+                        attempt,
+                        reason,
+                        detail: error.to_string(),
+                        degraded,
+                    });
+                    last_error = Some(error);
+                    // A run-budget cancellation dooms every further attempt;
+                    // stop retrying instead of burning checkpoints.
+                    if run_token.is_cancelled() {
+                        break;
+                    }
+                }
+            }
+        }
+        SweepPointOutcome {
+            label: point.label.clone(),
+            pipeline: point.pipeline_text(),
+            seconds: point_start.elapsed().as_secs_f64(),
+            point_jobs: 1,
+            attempts,
+            failure: Some(PointFailure { attempts: history }),
+            result: Err(last_error.unwrap_or_else(|| {
+                IrError::pass_failed("sweep", "point failed without an attempt record")
+            })),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PolybenchKernel;
+
+    fn small_points(n: usize) -> Vec<SweepPoint> {
+        (0..n)
+            .map(|i| {
+                SweepPoint::new(
+                    format!("p{:02}", i + 1),
+                    Workload::PolybenchSized(PolybenchKernel::TwoMm, 32),
+                    HidaOptions {
+                        max_parallel_factor: 4 << i,
+                        ..HidaOptions::polybench()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classify_failure_maps_structured_variants() {
+        assert_eq!(
+            classify_failure(&IrError::WorkerPanic {
+                site: "s".into(),
+                message: "m".into()
+            }),
+            FailureReason::Panicked
+        );
+        assert_eq!(
+            classify_failure(&IrError::Cancelled {
+                site: "s".into(),
+                detail: "d".into()
+            }),
+            FailureReason::TimedOut
+        );
+        assert_eq!(
+            classify_failure(&IrError::StoreDegraded("x".into())),
+            FailureReason::StoreDegraded
+        );
+        assert_eq!(
+            classify_failure(&IrError::verification("bad")),
+            FailureReason::Failed
+        );
+        assert_eq!(FailureReason::Panicked.to_string(), "Panicked");
+    }
+
+    #[test]
+    fn injected_pass_panic_is_isolated_and_schedule_independent() {
+        hida_ir_core::fault::silence_expected_panics();
+        let points = small_points(4);
+        let plan = FaultPlan::parse("seed=7,pass-panic=1").unwrap();
+        let run = |jobs: usize| {
+            SweepEngine::new()
+                .with_total_jobs(jobs)
+                .with_fault_plan(plan.clone())
+                .run(&points)
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        // Which point is afflicted is a pure function of (seed, labels):
+        // identical at any job count.
+        assert_eq!(sequential.failed_labels(), parallel.failed_labels());
+        assert_eq!(sequential.failed_labels().len(), 1);
+        assert!(!sequential.all_ok());
+        let failed = sequential
+            .points
+            .iter()
+            .find(|p| p.result.is_err())
+            .unwrap();
+        assert_eq!(failed.failure_reason(), Some(FailureReason::Panicked));
+        let failure = failed.failure.as_ref().unwrap();
+        assert_eq!(failure.attempts.len(), 1);
+        assert!(failure.attempts[0].detail.contains("injected"));
+        // The surviving points compiled, and their QoR is byte-identical to a
+        // fault-free run — isolation, not contamination.
+        let clean = SweepEngine::new().with_total_jobs(1).run(&points);
+        assert!(clean.all_ok());
+        for (chaos, baseline) in sequential.points.iter().zip(&clean.points) {
+            if let (Ok(x), Ok(y)) = (&chaos.result, &baseline.result) {
+                assert_eq!(x.estimate, y.estimate);
+                assert_eq!(x.hls_cpp, y.hls_cpp);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_converge_under_retries() {
+        hida_ir_core::fault::silence_expected_panics();
+        let points = small_points(3);
+        let plan = FaultPlan::parse("seed=3,pass-panic=1,transient").unwrap();
+        let outcome = SweepEngine::new()
+            .with_total_jobs(1)
+            .with_fault_plan(plan)
+            .with_retries(1)
+            .run(&points);
+        assert!(outcome.all_ok(), "failed: {:?}", outcome.failed_labels());
+        let retried = outcome
+            .points
+            .iter()
+            .find(|p| p.attempts == 2)
+            .expect("the afflicted point must have retried");
+        assert!(retried.failure.is_none());
+        assert!(retried.result.is_ok());
+    }
+
+    #[test]
+    fn injected_store_read_fault_reports_store_degraded() {
+        let points = small_points(2);
+        let plan = FaultPlan::parse("seed=1,store-read=1").unwrap();
+        let outcome = SweepEngine::new()
+            .with_total_jobs(1)
+            .with_fault_plan(plan)
+            .run(&points);
+        assert_eq!(outcome.failed_labels().len(), 1);
+        let failed = outcome.points.iter().find(|p| p.result.is_err()).unwrap();
+        assert_eq!(failed.failure_reason(), Some(FailureReason::StoreDegraded));
+        assert!(matches!(&failed.result, Err(IrError::StoreDegraded(_))));
+    }
+
+    #[test]
+    fn stalled_point_hits_its_deadline_and_reports_timed_out() {
+        hida_ir_core::fault::silence_expected_panics();
+        let points = small_points(2);
+        let plan = FaultPlan::parse("seed=5,stall=1,stall-ms=300").unwrap();
+        let outcome = SweepEngine::new()
+            .with_total_jobs(1)
+            .with_deadline_ms(50)
+            .with_fault_plan(plan)
+            .run(&points);
+        assert_eq!(outcome.failed_labels().len(), 1, "{:?}", outcome.points);
+        let failed = outcome.points.iter().find(|p| p.result.is_err()).unwrap();
+        assert_eq!(failed.failure_reason(), Some(FailureReason::TimedOut));
+        let detail = &failed.failure.as_ref().unwrap().attempts[0].detail;
+        assert!(detail.contains("deadline"), "{detail}");
+    }
 
     #[test]
     fn for_points_handles_degenerate_budgets() {
@@ -517,6 +975,14 @@ mod tests {
         assert_eq!(budget.pending(), 0);
         // Claims past the pool never panic and never hand out zero.
         assert!(budget.claim(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn reclaimed_jobs_widen_future_claims() {
+        let budget = AdaptiveBudget::new(8, 4);
+        assert_eq!(budget.claim(usize::MAX), 2); // 4 pending: 8/4
+        budget.reclaim(4); // a cancelled point hands back its threads
+        assert_eq!(budget.claim(usize::MAX), 4); // 3 pending: (8+4)/3
     }
 
     #[test]

@@ -274,7 +274,13 @@ impl DataflowEstimator {
         self.warm_node_estimates(ctx, &nodes);
         let node_estimates: Vec<NodeEstimate> = nodes
             .iter()
-            .map(|&n| self.body_estimate(ctx, n.id()))
+            .map(|&n| {
+                // Per-node cancellation checkpoint: estimation is infallible,
+                // so a hit deadline unwinds cooperatively and is classified at
+                // the nearest isolation layer (pass manager or sweep engine).
+                hida_ir_core::fault::checkpoint_or_unwind("estimator/node-loop");
+                self.body_estimate(ctx, n.id())
+            })
             .collect();
 
         // Buffer resources: every buffer declared in the schedule.

@@ -39,7 +39,7 @@ use crate::device::FpgaDevice;
 use crate::latency::{buffer_info, NodeEstimate};
 use crate::store::{EstimateStore, PersistentStoreStats};
 use hida_ir_core::fingerprint::{structural_fingerprint_filtered, Fingerprint, StableHasher};
-use hida_ir_core::{Context, OpId};
+use hida_ir_core::{lock_recover, Context, OpId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,6 +92,11 @@ impl fmt::Display for SharedCacheStats {
 /// A `Sync` node-estimate cache keyed by the combined node-plus-device
 /// [`Fingerprint`] (see [`estimate_key`]), designed to be shared (behind an
 /// `Arc`) by every compilation of a design-space sweep.
+///
+/// All internal locking recovers from mutex poison ([`lock_recover`]): a
+/// worker that panics while holding the map lock cannot wedge later lookups —
+/// entries are only ever inserted whole, so the map is valid even after an
+/// interrupted critical section.
 #[derive(Default)]
 pub struct SharedEstimateCache {
     entries: Mutex<HashMap<Fingerprint, NodeEstimate>>,
@@ -135,7 +140,7 @@ impl SharedEstimateCache {
     /// hit — the caller was served without computing).
     pub fn lookup(&self, key: Fingerprint) -> Option<NodeEstimate> {
         {
-            let entries = self.entries.lock().unwrap();
+            let entries = lock_recover(&self.entries);
             if let Some(estimate) = entries.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(estimate.clone());
@@ -145,9 +150,7 @@ impl SharedEstimateCache {
         // must not serialize concurrent in-memory lookups.
         if let Some(estimate) = self.store.as_ref().and_then(|store| store.load(key)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.entries
-                .lock()
-                .unwrap()
+            lock_recover(&self.entries)
                 .entry(key)
                 .or_insert_with(|| estimate.clone());
             return Some(estimate);
@@ -166,15 +169,13 @@ impl SharedEstimateCache {
     /// cache, not a request served by it.
     pub fn peek(&self, key: Fingerprint) -> Option<NodeEstimate> {
         {
-            let entries = self.entries.lock().unwrap();
+            let entries = lock_recover(&self.entries);
             if let Some(estimate) = entries.get(&key) {
                 return Some(estimate.clone());
             }
         }
         let estimate = self.store.as_ref().and_then(|store| store.load(key))?;
-        self.entries
-            .lock()
-            .unwrap()
+        lock_recover(&self.entries)
             .entry(key)
             .or_insert_with(|| estimate.clone());
         Some(estimate)
@@ -186,7 +187,7 @@ impl SharedEstimateCache {
     /// a first publish is also written back to disk.
     pub fn publish(&self, key: Fingerprint, estimate: NodeEstimate) {
         let inserted = {
-            let mut entries = self.entries.lock().unwrap();
+            let mut entries = lock_recover(&self.entries);
             match entries.entry(key) {
                 std::collections::hash_map::Entry::Occupied(_) => false,
                 std::collections::hash_map::Entry::Vacant(slot) => {
@@ -204,7 +205,7 @@ impl SharedEstimateCache {
 
     /// Number of cached node-per-device entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        lock_recover(&self.entries).len()
     }
 
     /// True when nothing is cached.
@@ -361,6 +362,29 @@ mod tests {
         cache.publish(key, estimate("second"));
         assert_eq!(cache.lookup(key).unwrap().name, "first");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging_lookups() {
+        hida_ir_core::fault::silence_expected_panics();
+        let cache = std::sync::Arc::new(SharedEstimateCache::new());
+        let key = Fingerprint { hi: 9, lo: 9 };
+        cache.publish(key, estimate("survivor"));
+        // Poison the entries mutex from a panicking worker.
+        let poisoner = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.entries.lock().unwrap();
+            panic!("injected fault: poison the cache lock");
+        })
+        .join();
+        assert!(cache.entries.is_poisoned());
+        // Lookups and publishes keep working after the poisoning panic.
+        assert_eq!(cache.lookup(key).unwrap().name, "survivor");
+        let key2 = Fingerprint { hi: 9, lo: 10 };
+        cache.publish(key2, estimate("after"));
+        assert_eq!(cache.lookup(key2).unwrap().name, "after");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(key).is_some());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 use crate::latency::NodeEstimate;
 use crate::resource::Resources;
 use hida_ir_core::fingerprint::{Fingerprint, StableHasher};
+use hida_ir_core::lock_recover;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -89,6 +90,12 @@ pub struct PersistentStoreStats {
     pub evictions: u64,
     /// Malformed entries encountered (each also counted as a miss).
     pub corrupt: u64,
+    /// Write-path I/O failures (tempfile or rename) swallowed as non-fatal
+    /// degradations: the estimate is simply not persisted.
+    pub write_errors: u64,
+    /// Read-path I/O failures other than a plain missing entry (EIO,
+    /// permission), each also counted as a miss.
+    pub read_errors: u64,
 }
 
 impl PersistentStoreStats {
@@ -99,6 +106,8 @@ impl PersistentStoreStats {
         self.writes += other.writes;
         self.evictions += other.evictions;
         self.corrupt += other.corrupt;
+        self.write_errors += other.write_errors;
+        self.read_errors += other.read_errors;
     }
 }
 
@@ -108,7 +117,15 @@ impl fmt::Display for PersistentStoreStats {
             f,
             "{} hit / {} miss, {} written, {} evicted, {} corrupt",
             self.hits, self.misses, self.writes, self.evictions, self.corrupt
-        )
+        )?;
+        if self.write_errors > 0 || self.read_errors > 0 {
+            write!(
+                f,
+                ", {} write errors, {} read errors",
+                self.write_errors, self.read_errors
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -131,6 +148,8 @@ pub struct EstimateStore {
     writes: AtomicU64,
     evictions: AtomicU64,
     corrupt: AtomicU64,
+    write_errors: AtomicU64,
+    read_errors: AtomicU64,
 }
 
 impl EstimateStore {
@@ -155,6 +174,8 @@ impl EstimateStore {
             writes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
         };
         store.approx_bytes.store(
             store.scan_entries().iter().map(|e| e.bytes).sum(),
@@ -196,7 +217,13 @@ impl EstimateStore {
         let path = self.entry_path(key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
-            Err(_) => {
+            Err(e) => {
+                // A missing entry is the expected cold-cache miss; any other
+                // failure (EIO, permission) is a counted read degradation —
+                // still served as a miss, never an error.
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.read_errors.fetch_add(1, Ordering::Relaxed);
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -232,18 +259,38 @@ impl EstimateStore {
             return;
         }
         let bytes = encode_entry(key, estimate);
-        if self.write_atomic(&path, &bytes).is_ok() {
-            self.writes.fetch_add(1, Ordering::Relaxed);
-            let total = self
-                .approx_bytes
-                .fetch_add(bytes.len() as u64, Ordering::Relaxed)
-                + bytes.len() as u64;
-            if let Some(limit) = self.limit_bytes {
-                if total > limit {
-                    self.enforce_budget(limit);
+        match self.write_atomic(&path, &bytes) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                let total = self
+                    .approx_bytes
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed)
+                    + bytes.len() as u64;
+                if let Some(limit) = self.limit_bytes {
+                    if total > limit {
+                        self.enforce_budget(limit);
+                    }
                 }
             }
+            // ENOSPC, permission, read-only filesystem: a counted, non-fatal
+            // degradation. The sweep continues; the entry is simply not
+            // persisted.
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Counts an *injected* read fault (chaos testing) in the same counter a
+    /// real EIO would land in.
+    pub fn note_injected_read_error(&self) {
+        self.read_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an *injected* short write (chaos testing) in the same counter a
+    /// real write failure would land in.
+    pub fn note_injected_write_error(&self) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Lifetime counters of this store handle.
@@ -254,6 +301,8 @@ impl EstimateStore {
             writes: self.writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -295,7 +344,7 @@ impl EstimateStore {
     /// still leaves the store under budget, and a deleted entry is simply a
     /// future miss.
     fn enforce_budget(&self, limit: u64) {
-        let _guard = self.evict_lock.lock().unwrap();
+        let _guard = lock_recover(&self.evict_lock);
         let mut entries = self.scan_entries();
         // Oldest first; paths tie-break so the order is total.
         entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
@@ -617,6 +666,59 @@ mod tests {
         );
         assert!(store.stats().evictions >= 7, "{:?}", store.stats());
         assert!(store.disk_entries() >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_store_degrades_to_counted_write_errors() {
+        let dir = temp_store_dir("readonly");
+        let store = EstimateStore::open(&dir).unwrap();
+        let key = Fingerprint { hi: 3, lo: 3 };
+        // Plant a regular file where the entry's shard *directory* must go:
+        // `create_dir_all` fails with NotADirectory regardless of privileges
+        // (unlike chmod-based read-only dirs, which root bypasses).
+        let shard = store.entry_path(key).parent().unwrap().to_path_buf();
+        fs::write(&shard, b"not a directory").unwrap();
+        store.save(key, &sample_estimate());
+        store.save(key, &sample_estimate());
+        let stats = store.stats();
+        assert_eq!(stats.writes, 0);
+        assert_eq!(stats.write_errors, 2, "{stats:?}");
+        // The store stays fully usable for other shards (the shard is the
+        // leading two hex digits, i.e. the top bits of `hi`).
+        let other = Fingerprint {
+            hi: 0xf300_0000_0000_0000,
+            lo: 9,
+        };
+        store.save(other, &sample_estimate());
+        assert_eq!(store.load(other).unwrap(), sample_estimate());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_errors_are_counted_separately_from_cold_misses() {
+        let dir = temp_store_dir("readerr");
+        let store = EstimateStore::open(&dir).unwrap();
+        let key = Fingerprint { hi: 6, lo: 6 };
+        // Cold miss: no read error.
+        assert!(store.load(key).is_none());
+        assert_eq!(store.stats().read_errors, 0);
+        // Plant a directory where the entry file should be: fs::read fails
+        // with something other than NotFound.
+        fs::create_dir_all(store.entry_path(key)).unwrap();
+        assert!(store.load(key).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.read_errors, 1, "{stats:?}");
+        assert_eq!(stats.misses, 2);
+        // Injected-fault bookkeeping lands in the same counters.
+        store.note_injected_read_error();
+        store.note_injected_write_error();
+        let stats = store.stats();
+        assert_eq!(stats.read_errors, 2);
+        assert_eq!(stats.write_errors, 1);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("1 write errors"), "{rendered}");
+        assert!(rendered.contains("2 read errors"), "{rendered}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -508,6 +508,75 @@ pub fn run_case(seed: u64) -> Result<CaseReport, CaseFailure> {
     })
 }
 
+/// Chaos-mode differential case: deterministically (from the seed) decides
+/// whether to arm an injected pass panic around the optimized pipeline run.
+///
+/// * **Armed** (~half the seeds): the pipeline must fail with a *structured*
+///   error that names the injected fault — a success is a vacuous oracle
+///   (the injection site never fired) and an escaping panic is an isolation
+///   hole; both are reported as failures.
+/// * **Unarmed**: the case degrades to the plain [`run_case`] differential
+///   checks, so a chaos batch still exercises the fault-free oracle.
+///
+/// The chaos decision comes from a decoupled RNG stream, so the generated
+/// workload and pipeline are byte-identical to `run_case(seed)`'s.
+pub fn run_case_chaos(seed: u64) -> Result<CaseReport, CaseFailure> {
+    hida_ir_core::fault::silence_expected_panics();
+    let mut chaos = FuzzRng::new(seed ^ 0x00C4_A05C_4A05_C4A0);
+    if !chaos.chance(50) {
+        return run_case(seed);
+    }
+
+    let mut rng = FuzzRng::new(seed);
+    let mut ctx = Context::new();
+    let workload = gen_workload(&mut ctx, &mut rng);
+    let pipeline_text = gen_pipeline(&mut rng);
+    let text = print_op(&ctx, workload.module);
+    let fail = |reason: String| CaseFailure {
+        seed,
+        reason,
+        pipeline: pipeline_text.clone(),
+        module_text: text.clone(),
+    };
+
+    let reg = registry();
+    let mut pipeline = Pipeline::parse(&reg, &pipeline_text)
+        .map_err(|e| fail(format!("generated pipeline: {e}")))?;
+    let outcome = {
+        let _guard = hida_ir_core::fault::install_point(
+            hida_ir_core::CancelToken::new(),
+            Some(hida_ir_core::PointFaults {
+                pass_panic: true,
+                ..Default::default()
+            }),
+        );
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline.run(&mut ctx, workload.func)
+        }))
+    };
+    match outcome {
+        Err(_) => Err(fail(
+            "chaos: injected pass panic escaped the pass manager".to_string(),
+        )),
+        Ok(Ok(_)) => Err(fail(
+            "chaos: armed a pass panic but the pipeline succeeded (vacuous injection)".to_string(),
+        )),
+        Ok(Err(e)) => {
+            let message = e.to_string();
+            if !message.contains("injected fault") {
+                return Err(fail(format!(
+                    "chaos: armed a pass panic but the failure does not name it: {message}"
+                )));
+            }
+            Ok(CaseReport {
+                pipeline: pipeline_text,
+                workload: workload.summary,
+                nodes: 0,
+            })
+        }
+    }
+}
+
 /// Builds an attention-style kernel (scores = Q·Kᵀ scaled, out = scores·V)
 /// into a fresh module. Used for the `examples/attention.hir` golden file and
 /// as a fixed non-random workload in the fuzz smoke tests.
@@ -619,6 +688,24 @@ mod tests {
                 panic!("seed {seed} failed: {}\n{}", f.reason, f.module_text);
             }
         }
+    }
+
+    #[test]
+    fn chaos_smoke_isolates_every_injected_panic() {
+        let mut armed = 0;
+        for seed in 0..10 {
+            if let Err(f) = run_case_chaos(seed) {
+                panic!("chaos seed {seed} failed: {}", f.reason);
+            }
+            let mut chaos = FuzzRng::new(seed ^ 0x00C4_A05C_4A05_C4A0);
+            if chaos.chance(50) {
+                armed += 1;
+            }
+        }
+        assert!(
+            armed > 0,
+            "no seed in 0..10 armed a fault — widen the range"
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Differential fuzzing driver.
 //!
 //! ```text
-//! hida-fuzz [--cases N] [--seed S] [--dump-dir DIR]
+//! hida-fuzz [--cases N] [--seed S] [--dump-dir DIR] [--chaos]
 //! ```
 //!
 //! Runs `N` differential cases with consecutive seeds starting at `S`
-//! (see `hida_fuzz::run_case` for the checks). On failure the offending
+//! (see `hida_fuzz::run_case` for the checks). With `--chaos`, roughly half
+//! the seeds additionally arm an injected pass panic and the oracle flips:
+//! the armed pipeline must fail with a structured error naming the injected
+//! fault, with no panic escaping the pass manager. On failure the offending
 //! module is dumped as `DIR/fuzz-<seed>.hir` — replayable with
 //! `hida-opt --input` — and the process exits non-zero.
 
@@ -15,6 +18,7 @@ struct Args {
     cases: u64,
     seed: u64,
     dump_dir: String,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -22,6 +26,7 @@ fn parse_args() -> Result<Args, String> {
         cases: 200,
         seed: 20240815,
         dump_dir: "target/fuzz-failures".to_string(),
+        chaos: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -38,8 +43,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--dump-dir" => args.dump_dir = value("--dump-dir")?,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
-                println!("usage: hida-fuzz [--cases N] [--seed S] [--dump-dir DIR]");
+                println!("usage: hida-fuzz [--cases N] [--seed S] [--dump-dir DIR] [--chaos]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}'")),
@@ -58,13 +64,21 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "hida-fuzz: {} cases from seed {} (dump dir: {})",
-        args.cases, args.seed, args.dump_dir
+        "hida-fuzz: {} cases from seed {}{} (dump dir: {})",
+        args.cases,
+        args.seed,
+        if args.chaos { ", chaos mode" } else { "" },
+        args.dump_dir
     );
+    let run = if args.chaos {
+        hida_fuzz::run_case_chaos
+    } else {
+        hida_fuzz::run_case
+    };
     let mut failures = 0_u64;
     for i in 0..args.cases {
         let seed = args.seed.wrapping_add(i);
-        match hida_fuzz::run_case(seed) {
+        match run(seed) {
             Ok(report) => {
                 if i % 50 == 0 {
                     println!(

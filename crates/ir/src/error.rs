@@ -24,6 +24,23 @@ pub enum IrError {
     UnsupportedOperation(String),
     /// A malformed or missing attribute was encountered.
     InvalidAttribute(String),
+    /// A worker panicked; the unwind was isolated and converted (fault
+    /// isolation, see [`crate::fault`]).
+    WorkerPanic {
+        /// Where the panic was caught (pass name, pool site, ...).
+        site: String,
+        /// The panic payload message.
+        message: String,
+    },
+    /// Work was cancelled at a checkpoint (deadline or explicit cancel).
+    Cancelled {
+        /// The checkpoint site that observed the cancellation.
+        site: String,
+        /// Deterministic reason, e.g. `deadline of 200ms exceeded`.
+        detail: String,
+    },
+    /// The persistent estimate store degraded fatally for this compilation.
+    StoreDegraded(String),
 }
 
 impl fmt::Display for IrError {
@@ -36,6 +53,11 @@ impl fmt::Display for IrError {
             }
             IrError::UnsupportedOperation(msg) => write!(f, "unsupported operation: {msg}"),
             IrError::InvalidAttribute(msg) => write!(f, "invalid attribute: {msg}"),
+            IrError::WorkerPanic { site, message } => {
+                write!(f, "worker panicked at {site}: {message}")
+            }
+            IrError::Cancelled { site, detail } => write!(f, "cancelled at {site}: {detail}"),
+            IrError::StoreDegraded(msg) => write!(f, "estimate store degraded: {msg}"),
         }
     }
 }
@@ -68,6 +90,28 @@ mod tests {
         let e = IrError::pass_failed("fusion", "pattern mismatch");
         assert!(e.to_string().contains("fusion"));
         assert!(e.to_string().contains("pattern mismatch"));
+    }
+
+    #[test]
+    fn fault_variants_render_site_and_detail() {
+        let e = IrError::WorkerPanic {
+            site: "pass 'lower'".to_string(),
+            message: "index out of bounds".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker panicked at pass 'lower': index out of bounds"
+        );
+        let e = IrError::Cancelled {
+            site: "pass 'tiling'".to_string(),
+            detail: "deadline of 50ms exceeded".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "cancelled at pass 'tiling': deadline of 50ms exceeded"
+        );
+        let e = IrError::StoreDegraded("injected EIO".to_string());
+        assert_eq!(e.to_string(), "estimate store degraded: injected EIO");
     }
 
     #[test]

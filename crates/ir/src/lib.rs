@@ -40,6 +40,7 @@ pub mod builder;
 pub mod context;
 pub mod entities;
 pub mod error;
+pub mod fault;
 pub mod fingerprint;
 pub mod ids;
 pub mod intern;
@@ -63,6 +64,9 @@ pub use builder::OpBuilder;
 pub use context::Context;
 pub use entities::{Block, Region, Value, ValueDef};
 pub use error::{IrError, IrResult};
+pub use fault::{
+    lock_recover, CancelToken, CancelUnwind, FaultKind, FaultPlan, PointFaults, WorkerFault,
+};
 pub use fingerprint::{
     structural_fingerprint, structural_fingerprint_filtered, structural_fingerprint_with,
     Fingerprint, StableHasher,

@@ -22,13 +22,24 @@
 //! The executor never touches the pass registry or any global state; the only
 //! shared mutable state is the per-worker queues and the result slots, both
 //! behind `std::sync` primitives.
+//!
+//! **Fault isolation.** Worker items run under `catch_unwind`: an unwinding
+//! item becomes a per-item [`WorkerFault`] (carrying the panic payload
+//! message) instead of aborting the scope, and the internal locks are
+//! poison-tolerant, so one panicked item can neither take down the batch nor
+//! wedge the queues for its siblings. [`run_batch_isolated`] surfaces the
+//! per-item `Result`s; [`run_batch`] keeps the infallible signature for
+//! callers whose work cannot unwind (re-raising the first fault on the
+//! calling thread otherwise).
 
 use crate::analysis::{Analysis, AnalysisManager};
 use crate::attributes::Attribute;
 use crate::context::Context;
 use crate::error::{IrError, IrResult};
+use crate::fault::{fault_from_panic, lock_recover, CancelUnwind, WorkerFault};
 use crate::ids::OpId;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -90,22 +101,34 @@ impl std::fmt::Display for ParallelStats {
 }
 
 /// Runs `work` over every item of `items` on up to `jobs` workers, returning
-/// the results **in item order** plus the batch's execution counters.
+/// per-item `Result`s **in item order** plus the batch's execution counters.
 ///
 /// Items are partitioned into contiguous chunks, one queue per worker; a worker
 /// that drains its own queue steals from the back of the fullest neighbour.
 /// With `jobs <= 1` (or a single item) everything runs inline on the calling
 /// thread — the bitwise-reproducibility escape hatch — but because results are
 /// always collected by item index, the output is identical either way.
-pub fn run_batch<T, R, F>(jobs: usize, items: &[T], work: F) -> (Vec<R>, ParallelStats)
+///
+/// Every item runs under `catch_unwind`: an unwinding item yields
+/// `Err(WorkerFault)` in its slot (panic payload message preserved,
+/// cooperative [`CancelUnwind`]s flagged as `cancelled`) and its worker moves
+/// on to the next item. The queue and slot locks recover from poison, so a
+/// panicked sibling never wedges the batch.
+pub fn run_batch_isolated<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    work: F,
+) -> (Vec<Result<R, WorkerFault>>, ParallelStats)
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let isolated =
+        |item: &T| catch_unwind(AssertUnwindSafe(|| work(item))).map_err(fault_from_panic);
     let workers = jobs.min(items.len()).max(1);
     if workers == 1 {
-        let results = items.iter().map(&work).collect();
+        let results = items.iter().map(isolated).collect();
         let stats = ParallelStats {
             workers: 1,
             items: items.len() as u64,
@@ -125,7 +148,8 @@ where
             Mutex::new((start..end).collect())
         })
         .collect();
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, WorkerFault>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     let steals = AtomicU64::new(0);
     let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
 
@@ -135,15 +159,15 @@ where
             let slots = &slots;
             let steals = &steals;
             let executed = &executed;
-            let work = &work;
+            let isolated = &isolated;
             scope.spawn(move || loop {
                 // Own queue first (front), then steal from the back of the
                 // other queues; queues only ever shrink, so one full empty
                 // scan means the batch is drained.
-                let mut next = queues[me].lock().unwrap().pop_front();
+                let mut next = lock_recover(&queues[me]).pop_front();
                 if next.is_none() {
                     for other in (0..workers).filter(|&o| o != me) {
-                        if let Some(stolen) = queues[other].lock().unwrap().pop_back() {
+                        if let Some(stolen) = lock_recover(&queues[other]).pop_back() {
                             steals.fetch_add(1, Ordering::Relaxed);
                             next = Some(stolen);
                             break;
@@ -151,19 +175,19 @@ where
                     }
                 }
                 let Some(index) = next else { break };
-                let result = work(&items[index]);
-                *slots[index].lock().unwrap() = Some(result);
+                let result = isolated(&items[index]);
+                *lock_recover(&slots[index]) = Some(result);
                 executed[me].fetch_add(1, Ordering::Relaxed);
             });
         }
     });
 
-    let results: Vec<R> = slots
+    let results: Vec<Result<R, WorkerFault>> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
-                .expect("every batch item produces a result")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("every batch item produces a result or a fault")
         })
         .collect();
     let counts: Vec<u64> = executed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
@@ -174,6 +198,33 @@ where
         max_worker_items: counts.iter().copied().max().unwrap_or(0),
         min_worker_items: counts.iter().copied().min().unwrap_or(0),
     };
+    (results, stats)
+}
+
+/// Infallible wrapper over [`run_batch_isolated`] for work that cannot
+/// unwind: returns the plain results in item order. If an item *did* fault,
+/// the first fault is re-raised on the calling thread (cooperative
+/// cancellations as a [`CancelUnwind`], genuine panics as a panic with the
+/// original message), so the failure propagates to the caller's own
+/// isolation layer instead of silently dropping items.
+pub fn run_batch<T, R, F>(jobs: usize, items: &[T], work: F) -> (Vec<R>, ParallelStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (results, stats) = run_batch_isolated(jobs, items, work);
+    let results = results
+        .into_iter()
+        .map(|result| match result {
+            Ok(value) => value,
+            Err(fault) if fault.cancelled => std::panic::panic_any(CancelUnwind {
+                site: "run_batch".to_string(),
+                detail: fault.message,
+            }),
+            Err(fault) => panic!("{}", fault.message),
+        })
+        .collect();
     (results, stats)
 }
 
@@ -367,6 +418,71 @@ mod tests {
         // must stay internally consistent.
         assert!(stats.max_worker_items >= stats.min_worker_items);
         assert!(stats.max_worker_items <= stats.items);
+    }
+
+    #[test]
+    fn panicked_items_become_faults_and_siblings_survive() {
+        crate::fault::silence_expected_panics();
+        let items: Vec<u64> = (0..20).collect();
+        for jobs in [1, 4] {
+            let (results, stats) = run_batch_isolated(jobs, &items, |&x| {
+                if x % 7 == 3 {
+                    panic!("injected fault: boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(stats.items, 20);
+            for (i, result) in results.iter().enumerate() {
+                let x = i as u64;
+                match result {
+                    Ok(v) => {
+                        assert_ne!(x % 7, 3);
+                        assert_eq!(*v, x * 2);
+                    }
+                    Err(fault) => {
+                        assert_eq!(x % 7, 3);
+                        assert!(fault.message.contains(&format!("boom at {x}")));
+                        assert!(!fault.cancelled);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_unwinds_are_flagged_as_cancelled_faults() {
+        crate::fault::silence_expected_panics();
+        let items = vec![0_u64, 1];
+        let (results, _) = run_batch_isolated(1, &items, |&x| {
+            if x == 1 {
+                std::panic::panic_any(CancelUnwind {
+                    site: "test".to_string(),
+                    detail: "deadline of 5ms exceeded".to_string(),
+                });
+            }
+            x
+        });
+        assert!(results[0].is_ok());
+        let fault = results[1].as_ref().unwrap_err();
+        assert!(fault.cancelled);
+        assert!(fault.message.contains("deadline of 5ms exceeded"));
+    }
+
+    #[test]
+    fn run_batch_reraises_the_first_fault_on_the_caller() {
+        crate::fault::silence_expected_panics();
+        let items = vec![1_u64, 2, 3];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_batch(2, &items, |&x| {
+                if x == 2 {
+                    panic!("injected fault: re-raise me");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("the fault must propagate");
+        let fault = fault_from_panic(payload);
+        assert!(fault.message.contains("re-raise me"));
     }
 
     #[test]

@@ -17,12 +17,14 @@
 use crate::analysis::{AnalysisCacheStats, AnalysisManager, AnalysisSnapshot, PreservedAnalyses};
 use crate::context::Context;
 use crate::error::{IrError, IrResult};
+use crate::fault;
 use crate::ids::OpId;
-use crate::par::{run_batch, NodeScope, ParallelStats};
+use crate::par::{run_batch_isolated, NodeScope, ParallelStats};
 use crate::verifier::verify;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Typed cross-pass state: at most one value per Rust type.
@@ -422,32 +424,70 @@ impl PassManager {
             // per-node roots executes them on the work-stealing pool;
             // everything else (and everything under --jobs 1) takes the
             // sequential path.
-            let waves = if self.jobs > 1 {
-                pass.parallelizable_roots(ctx, root, state, &mut self.analyses)
-            } else {
-                None
-            };
-            let (result, parallel) = match waves {
-                Some(waves) => {
-                    match run_parallel_waves(
-                        pass.as_ref(),
-                        ctx,
-                        root,
-                        state,
-                        &mut self.analyses,
-                        self.jobs,
-                        waves,
-                    ) {
-                        Ok(stats) => (Ok(()), Some(stats)),
-                        Err(e) => (Err(e), None),
+            // Pass boundaries are cancellation checkpoints: a deadline or an
+            // explicit cancel stops the pipeline here, before the next pass
+            // starts, with a deterministic `Cancelled` error.
+            let site = format!("pass '{name}'");
+            let (result, parallel) = match fault::checkpoint(&site) {
+                Err(e) => (Err(e), None),
+                Ok(()) => {
+                    let waves = if self.jobs > 1 {
+                        pass.parallelizable_roots(ctx, root, state, &mut self.analyses)
+                    } else {
+                        None
+                    };
+                    // The pass body runs under `catch_unwind`, so a panicking
+                    // pass (injected or real) becomes a structured
+                    // `WorkerPanic` failure instead of aborting the process.
+                    // The injection hook fires *inside* the caught region to
+                    // exercise exactly this machinery.
+                    match waves {
+                        Some(waves) => {
+                            let caught = catch_unwind(AssertUnwindSafe(|| {
+                                fault::injected_pass_panic(&name);
+                                run_parallel_waves(
+                                    pass.as_ref(),
+                                    ctx,
+                                    root,
+                                    state,
+                                    &mut self.analyses,
+                                    self.jobs,
+                                    waves,
+                                )
+                            }));
+                            match caught {
+                                Ok(Ok(stats)) => (Ok(()), Some(stats)),
+                                Ok(Err(e)) => (Err(e), None),
+                                Err(payload) => {
+                                    (Err(fault::error_from_panic(&site, payload)), None)
+                                }
+                            }
+                        }
+                        None => {
+                            let caught = catch_unwind(AssertUnwindSafe(|| {
+                                fault::injected_pass_panic(&name);
+                                pass.run(ctx, root, state, &mut self.analyses)
+                            }));
+                            match caught {
+                                Ok(result) => (result, None),
+                                Err(payload) => {
+                                    (Err(fault::error_from_panic(&site, payload)), None)
+                                }
+                            }
+                        }
                     }
                 }
-                None => (pass.run(ctx, root, state, &mut self.analyses), None),
             };
             let result = result.map_err(|e| {
                 match e {
                     // Don't re-wrap errors the pass already attributed to itself.
                     IrError::PassFailed { pass: ref p, .. } if p == &name => e,
+                    // Structured fault and cancellation errors keep their
+                    // variant so callers can classify the failure; wrapping
+                    // would collapse them into a generic `PassFailed`.
+                    e @ (IrError::Cancelled { .. }
+                    | IrError::WorkerPanic { .. }
+                    | IrError::StoreDegraded(_)) => e,
                     other => IrError::pass_failed(&name, other.to_string()),
                 }
             });
@@ -523,9 +563,12 @@ fn run_parallel_waves(
             },
             "declared roots within a wave must be distinct"
         );
+        // Wave boundaries are cancellation checkpoints too: a deadline hit
+        // mid-pass stops before the next wave is dispatched.
+        fault::checkpoint(&format!("pass '{}' wave", pass.name()))?;
         let snapshot = analyses.snapshot(ctx);
         let shared: &Context = ctx;
-        let (results, stats) = run_batch(jobs, &wave, |&node| {
+        let (results, stats) = run_batch_isolated(jobs, &wave, |&node| {
             let mut scope = NodeScope::new(shared, node);
             pass.run_on_root(&mut scope, &snapshot)
                 .map(|()| scope.into_parts())
@@ -534,7 +577,22 @@ fn run_parallel_waves(
         let mut edits = Vec::new();
         let mut published = Vec::new();
         for result in results {
-            let (node_edits, node_published) = result?;
+            // A panicked root aborts the pass (discarding the wave) with a
+            // structured error, same as a root returning `Err`.
+            let (node_edits, node_published) = result.map_err(|worker_fault| {
+                let site = format!("pass '{}' worker", pass.name());
+                if worker_fault.cancelled {
+                    IrError::Cancelled {
+                        site,
+                        detail: worker_fault.message,
+                    }
+                } else {
+                    IrError::WorkerPanic {
+                        site,
+                        message: worker_fault.message,
+                    }
+                }
+            })??;
             edits.extend(node_edits);
             published.extend(node_published);
         }
@@ -1081,6 +1139,80 @@ mod tests {
                 "func {i} must be cached after the parallel pass"
             );
         }
+    }
+
+    #[test]
+    fn panicking_pass_is_isolated_into_a_structured_failure() {
+        crate::fault::silence_expected_panics();
+        struct PanicPass;
+        impl Pass for PanicPass {
+            fn name(&self) -> &str {
+                "panic-pass"
+            }
+            fn run(
+                &self,
+                _ctx: &mut Context,
+                _root: OpId,
+                _state: &mut PipelineState,
+                _analyses: &mut AnalysisManager,
+            ) -> IrResult<()> {
+                panic!("injected fault: deliberate unwind");
+            }
+        }
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 1);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(PanicPass));
+        pm.add_pass(Box::new(CountConstantsPass { expected: 1 }));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        match &err {
+            IrError::WorkerPanic { site, message } => {
+                assert_eq!(site, "pass 'panic-pass'");
+                assert!(message.contains("deliberate unwind"));
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The panicking pass left a failed record; the second pass never ran.
+        assert_eq!(pm.statistics().len(), 1);
+        assert!(pm.statistics()[0].failed);
+    }
+
+    #[test]
+    fn injected_pass_panic_fires_under_an_installed_point_guard() {
+        crate::fault::silence_expected_panics();
+        let token = crate::fault::CancelToken::new();
+        let faults = crate::fault::PointFaults {
+            pass_panic: true,
+            ..Default::default()
+        };
+        let _guard = crate::fault::install_point(token, Some(faults));
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 1);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(CountConstantsPass { expected: 1 }));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        assert!(
+            matches!(&err, IrError::WorkerPanic { message, .. } if message.contains("injected")),
+            "expected an injected WorkerPanic, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_pipeline_at_a_pass_boundary() {
+        let token = crate::fault::CancelToken::new();
+        token.cancel();
+        let _guard = crate::fault::install_point(token, None);
+        let mut ctx = Context::new();
+        let module = module_with_constants(&mut ctx, 2);
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(EraseConstantsPass));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        assert!(
+            matches!(&err, IrError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
+        // The pass never ran: its mutation did not happen.
+        assert_eq!(ctx.collect_ops(module, "arith.constant").len(), 2);
     }
 
     #[cfg(debug_assertions)]
